@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure and reports the
+"paper vs measured" rows.  Tables are printed to stdout and appended to
+``benchmarks/output/results_latest.txt`` so a full ``pytest
+benchmarks/ --benchmark-only`` run leaves a single consolidated
+artifact (the source for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+from repro.core import AdClassifier, get_reference_classifier
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+_OUTPUT_PATH = os.path.join(_OUTPUT_DIR, "results_latest.txt")
+
+
+@pytest.fixture(scope="session")
+def reference_classifier() -> AdClassifier:
+    return get_reference_classifier()
+
+
+@pytest.fixture(scope="session")
+def _sink_path() -> str:
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    with open(_OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write("PERCIVAL reproduction: regenerated tables\n\n")
+    return _OUTPUT_PATH
+
+
+@pytest.fixture()
+def report_table(_sink_path: str) -> Callable[[str], None]:
+    """Print a result table and append it to the session artifact."""
+
+    def _report(table: str) -> None:
+        print("\n" + table)
+        with open(_sink_path, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n\n")
+
+    return _report

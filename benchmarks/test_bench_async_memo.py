@@ -1,0 +1,27 @@
+"""§1.1 ablation: synchronous vs asynchronous + memoization deployment.
+
+Paper: the alternative low-latency deployment classifies images
+asynchronously and memoizes results, "thus speeding up the
+classification process" — at the cost of ads flashing before their
+verdict lands on first sight.
+"""
+
+from repro.eval.experiments.render_performance import run_async_ablation
+
+
+def test_async_vs_sync(benchmark, reference_classifier, report_table):
+    result = benchmark.pedantic(
+        run_async_ablation,
+        kwargs={"classifier": reference_classifier, "num_pages": 40},
+        rounds=1, iterations=1,
+    )
+    report_table(result.to_table())
+    sync_overhead = result.sync_median_ms - result.baseline_median_ms
+    async_overhead = result.async_median_ms - result.baseline_median_ms
+    benchmark.extra_info["sync_overhead_ms"] = sync_overhead
+    benchmark.extra_info["async_overhead_ms"] = async_overhead
+    benchmark.extra_info["memo_hits"] = result.memo_hits
+
+    assert async_overhead < sync_overhead / 2
+    assert result.memo_hits > 0      # revisits hit the verdict cache
+    assert result.flashed_ads > 0    # the async trade-off is real

@@ -1,0 +1,22 @@
+"""§2.2 ablation: decode/raster choke point vs DOM-extension scanning.
+
+Paper argument: the pipeline placement sees every image regardless of
+loading mechanism; DOM-based blockers race dynamic injection and miss
+CSS-composited resources.
+"""
+
+from repro.eval.experiments.chokepoint import run_chokepoint_ablation
+
+
+def test_chokepoint_coverage(benchmark, report_table):
+    result = benchmark.pedantic(
+        run_chokepoint_ablation,
+        kwargs={"num_sites": 30, "pages_per_site": 2},
+        rounds=1, iterations=1,
+    )
+    report_table(result.to_table())
+    benchmark.extra_info["pipeline"] = result.pipeline_coverage
+    benchmark.extra_info["extension"] = result.extension_coverage
+
+    assert result.pipeline_coverage == 1.0
+    assert result.extension_coverage < 0.9

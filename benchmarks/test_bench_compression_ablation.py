@@ -1,0 +1,32 @@
+"""§4.2 ablation: model compression trade-off.
+
+Paper narrative: big nets (Inception/ResNet class) hit 97-99% but are
+prohibitively large/slow; the pruned SqueezeNet fork keeps accuracy at
+a fraction of the size; degenerate models are fast but inaccurate.
+"""
+
+from repro.eval.experiments.compression import run_compression_ablation
+
+
+def test_compression_tradeoff(benchmark, report_table):
+    result = benchmark.pedantic(
+        run_compression_ablation, rounds=1, iterations=1,
+    )
+    report_table(result.to_table())
+    by_name = {v.name: v for v in result.variants}
+    fork = by_name["percival (paper fork)"]
+    wide = by_name["wider fork (0.5x width)"]
+    for variant in result.variants:
+        benchmark.extra_info[variant.name] = variant.accuracy
+
+    # the paper's compression claims: the pruned fork is a fraction of
+    # the wider model's size and latency...
+    assert fork.size_mb < wide.size_mb / 2
+    assert fork.latency_ms < wide.latency_ms
+    # ...without a significant accuracy loss (§4.2: "without a
+    # significant loss in accuracy")
+    assert fork.accuracy > wide.accuracy - 0.05
+    assert fork.accuracy > 0.9
+    # note: the linear baseline is competitive on this *synthetic*
+    # distribution (documented in EXPERIMENTS.md); real web imagery is
+    # not linearly separable, so no assertion pits CNN against linear.

@@ -1,0 +1,30 @@
+"""Figure 13: blocking Google Image Search results.
+
+Paper (blocked / first 100): Advertisement 96, Detergent 85, iPhone 76,
+Shoes 56, Coffee 23, Pastry 14, Obama 12.
+"""
+
+from repro.eval.experiments.image_search import (
+    run_image_search_experiment,
+)
+
+
+def test_image_search(benchmark, reference_classifier, report_table):
+    result = benchmark.pedantic(
+        run_image_search_experiment,
+        kwargs={"classifier": reference_classifier, "per_query": 100},
+        rounds=1, iterations=1,
+    )
+    report_table(result.to_table())
+    blocked = result.blocked_by_query()
+    for query, count in blocked.items():
+        benchmark.extra_info[query] = count
+
+    # the paper's block-rate ordering across ad-intent levels
+    assert blocked["Advertisement"] > blocked["Detergent"]
+    assert blocked["Detergent"] >= blocked["iPhone"] - 8
+    assert blocked["iPhone"] > blocked["Shoes"]
+    assert blocked["Shoes"] > blocked["Coffee"]
+    assert blocked["Coffee"] >= blocked["Pastry"] - 5
+    assert blocked["Obama"] < 25
+    assert blocked["Advertisement"] > 85

@@ -1,0 +1,31 @@
+"""Figure 3 / §2.3: model size and per-image inference latency.
+
+Paper: < 2 MB model (74x smaller than Sentinel-class), ~11 ms/image.
+"""
+
+import numpy as np
+
+from repro.eval.experiments.model_profile import (
+    run_model_profile_experiment,
+)
+
+
+def test_model_size_and_latency(benchmark, report_table):
+    result = benchmark.pedantic(
+        run_model_profile_experiment, rounds=1, iterations=1,
+    )
+    report_table(result.to_table())
+    benchmark.extra_info["percival_mb"] = result.percival_mb
+    benchmark.extra_info["latency_ms"] = result.full_size_latency_ms
+    assert result.percival_mb < 2.0
+    assert result.sentinel_reduction > 50
+
+
+def test_single_image_inference_latency(benchmark, reference_classifier):
+    """Raw per-image classification latency of the deployed (reduced)
+    model, preprocessing included — the §5.7 calibration input."""
+    rng = np.random.default_rng(0)
+    bitmap = rng.random((64, 64, 4)).astype(np.float32)
+    reference_classifier.is_ad(bitmap)  # warm
+    verdict = benchmark(lambda: reference_classifier.is_ad(bitmap))
+    assert verdict in (True, False)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Generating EasyList supplements from PERCIVAL verdicts (§6).
+
+Crawls part of the synthetic web with the model, emits ABP rules for
+the ad resources EasyList misses (unknown networks become domain rules,
+first-party promos become path rules), and measures the recall gain on
+an unseen crawl.
+
+Usage::
+
+    python examples/blocklist_generation.py
+"""
+
+from __future__ import annotations
+
+from repro import default_easylist, get_reference_classifier
+from repro.crawl.listgen import evaluate_list_generation
+from repro.synth.webgen import SyntheticWeb, WebConfig
+
+
+def main() -> None:
+    classifier = get_reference_classifier()
+    engine = default_easylist()
+
+    train_web = SyntheticWeb(WebConfig(seed=61, num_sites=12))
+    eval_web = SyntheticWeb(WebConfig(seed=62, num_sites=8))
+    train_pages = list(train_web.iter_pages(train_web.top_sites(12), 2))
+    eval_pages = list(eval_web.iter_pages(eval_web.top_sites(8), 2))
+
+    report = evaluate_list_generation(
+        classifier, engine, train_pages, eval_pages,
+    )
+    print(report.to_table())
+    print("\ngenerated rules (first 12):")
+    for rule in report.generated.rules[:12]:
+        print(f"  {rule}")
+
+
+if __name__ == "__main__":
+    main()

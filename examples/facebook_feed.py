@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""First-party ad blocking on a Facebook-style feed (§5.3).
+
+Replays browsing sessions over the synthetic feed and shows PERCIVAL
+blocking right-column ads and sponsored-in-feed posts — the content
+filter lists cannot reach because Facebook serves it first-party with
+obfuscated markup.
+
+Usage::
+
+    python examples/facebook_feed.py [--days 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import PercivalBlocker, get_reference_classifier
+from repro.eval.metrics import confusion_metrics
+from repro.synth.facebook import FacebookFeed, FeedConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=7)
+    args = parser.parse_args()
+
+    classifier = get_reference_classifier()
+    blocker = PercivalBlocker(classifier)
+    feed = FacebookFeed(FeedConfig(seed=0))
+
+    predictions, truths = [], []
+    per_kind = {}
+    for day, session in enumerate(feed.browse(args.days)):
+        day_blocked = 0
+        for item in session:
+            verdict = blocker.decide(item.render()).is_ad
+            predictions.append(verdict)
+            truths.append(item.is_ad)
+            day_blocked += verdict
+            stats = per_kind.setdefault(item.kind, [0, 0])
+            stats[0] += verdict
+            stats[1] += 1
+        print(f"day {day:2d}: {len(session)} items, "
+              f"{day_blocked} blocked")
+
+    metrics = confusion_metrics(predictions, truths)
+    print(f"\n{args.days} days of browsing: {metrics}")
+    print("(paper over 35 days: accuracy 92.0%, precision 0.784, "
+          "recall 0.7)\n")
+    print("blocked / shown by feed-item kind:")
+    for kind, (blocked, total) in sorted(per_kind.items()):
+        print(f"  {kind:18s} {blocked:4d} / {total:4d}")
+
+
+if __name__ == "__main__":
+    main()

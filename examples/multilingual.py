@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Language-agnostic blocking (§5.5, Figure 9).
+
+The English-trained model classifies ads crawled from regional webs in
+five other languages.  Latin-script languages stay near the training
+distribution; Arabic, Chinese and Korean drift further and degrade —
+the paper's headline ordering.
+
+Usage::
+
+    python examples/multilingual.py
+"""
+
+from __future__ import annotations
+
+from repro import get_reference_classifier
+from repro.eval.experiments.languages import run_languages_experiment
+
+
+def main() -> None:
+    classifier = get_reference_classifier()
+    result = run_languages_experiment(
+        classifier=classifier, sites_per_language=10, pages_per_site=2,
+    )
+    print(result.to_table())
+    print("\nTakeaway: the model was trained on English creatives only;"
+          "\nthe accuracy ordering (Latin > Arabic > CJK/Hangul) falls"
+          "\nout of the visual distribution shift, exactly as in the"
+          "\npaper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Grad-CAM salience maps (§5.6, Figure 4), rendered as ASCII art.
+
+Shows which regions of an image drive the ad/non-ad decision.  On an
+overt ad the salience concentrates on cue regions (disclosure marker,
+CTA button, text); on a photo it stays diffuse.
+
+Usage::
+
+    python examples/salience_maps.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GradCam, get_reference_classifier
+from repro.synth.adgen import AdSpec, generate_ad
+from repro.synth.contentgen import ContentKind, generate_content
+from repro.utils.rng import spawn_rng
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_map(cam: np.ndarray, width: int = 48) -> str:
+    """Downsample a salience map to terminal-sized ASCII art."""
+    height = max(int(cam.shape[0] / cam.shape[1] * width / 2), 4)
+    rows = []
+    for y in np.linspace(0, cam.shape[0] - 1, height).astype(int):
+        row = "".join(
+            _SHADES[int(cam[y, x] * (len(_SHADES) - 1))]
+            for x in np.linspace(0, cam.shape[1] - 1, width).astype(int)
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    classifier = get_reference_classifier()
+    gradcam = GradCam(classifier)
+    layers = gradcam.available_layers()
+    mid_layer = layers[len(layers) // 2]
+    rng = spawn_rng(3, "salience-demo")
+
+    ad = generate_ad(rng, AdSpec(slot_format="medium_rectangle",
+                                 cue_strength=1.0))
+    photo = generate_content(rng, kind=ContentKind.PHOTO)
+
+    print(f"P(ad | banner) = {classifier.ad_probability(ad):.3f}")
+    print(f"salience (mid-network layer {mid_layer}) — banner ad, "
+          "marker in top-right:")
+    print(ascii_map(gradcam.salience(ad, layer=mid_layer)))
+    print()
+    print(f"P(ad | photo) = {classifier.ad_probability(photo):.3f}")
+    print("salience — photo (expected diffuse):")
+    print(ascii_map(gradcam.salience(photo, layer=mid_layer)))
+
+
+if __name__ == "__main__":
+    main()

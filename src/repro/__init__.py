@@ -1,0 +1,58 @@
+"""PERCIVAL reproduction: in-browser perceptual ad blocking.
+
+A from-scratch Python reproduction of *PERCIVAL: Making In-Browser
+Perceptual Ad Blocking Practical with Deep Learning* (Din, Tigas, King,
+Livshits): a compressed SqueezeNet-fork CNN classifying every decoded
+image inside a Blink-shaped render pipeline, evaluated against an
+EasyList-style filter engine over a synthetic web.
+
+Quickstart::
+
+    from repro import get_reference_classifier, PercivalBlocker
+
+    classifier = get_reference_classifier()   # trains once, then cached
+    blocker = PercivalBlocker(classifier)
+    verdict = blocker.decide(decoded_rgba_bitmap)
+    if verdict.is_ad:
+        ...  # clear the frame before it paints
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+per-figure experiment harness.
+"""
+
+from repro.core import (
+    AdClassifier,
+    BlockDecision,
+    GradCam,
+    ModelStore,
+    PercivalBlocker,
+    PercivalConfig,
+    get_reference_classifier,
+)
+from repro.models import PercivalNet, SqueezeNet, describe_model
+from repro.browser import BRAVE, CHROMIUM, Renderer
+from repro.filterlist import FilterEngine, default_easylist
+from repro.synth import SyntheticWeb, WebConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdClassifier",
+    "BlockDecision",
+    "GradCam",
+    "ModelStore",
+    "PercivalBlocker",
+    "PercivalConfig",
+    "get_reference_classifier",
+    "PercivalNet",
+    "SqueezeNet",
+    "describe_model",
+    "BRAVE",
+    "CHROMIUM",
+    "Renderer",
+    "FilterEngine",
+    "default_easylist",
+    "SyntheticWeb",
+    "WebConfig",
+    "__version__",
+]

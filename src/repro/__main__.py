@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``train``      train (or load) the reference model and print its stats
+``classify``   classify sample creatives/content with the model
+``render``     render synthetic pages with PERCIVAL in the loop
+``crawl``      run the crawl/retrain flywheel
+``experiments``  run every experiment driver and print its table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import get_reference_classifier
+
+    classifier = get_reference_classifier(verbose=True)
+    print(f"model size: {classifier.model_size_mb:.3f} MB")
+    print(f"latency:    {classifier.measured_latency_ms():.2f} ms/image")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core import PercivalBlocker, get_reference_classifier
+    from repro.synth.adgen import AdSpec, generate_ad
+    from repro.synth.contentgen import generate_content
+    from repro.utils.rng import spawn_rng
+
+    blocker = PercivalBlocker(get_reference_classifier())
+    rng = spawn_rng(args.seed, "cli-classify")
+    for index in range(args.count):
+        if index % 2 == 0:
+            bitmap = generate_ad(rng, AdSpec())
+            truth = "ad"
+        else:
+            bitmap = generate_content(rng)
+            truth = "content"
+        decision = blocker.decide(bitmap)
+        verdict = "BLOCK" if decision.is_ad else "render"
+        print(f"[{truth:7s}] P(ad)={decision.probability:.3f} -> "
+              f"{verdict}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro import BRAVE, CHROMIUM, PercivalBlocker, Renderer
+    from repro import SyntheticWeb, WebConfig, get_reference_classifier
+    from repro.browser.network import MockNetwork
+    from repro.synth.webgen import url_registry
+
+    web = SyntheticWeb(WebConfig(seed=args.seed, num_sites=args.pages))
+    pages = [web.build_page(s) for s in web.top_sites(args.pages)]
+    renderer = Renderer(
+        BRAVE if args.brave else CHROMIUM,
+        MockNetwork(url_registry(pages)),
+    )
+    blocker = PercivalBlocker(
+        get_reference_classifier(), calibrated_latency_ms=11.0
+    )
+    for page in pages:
+        metrics = renderer.render(page, percival=blocker, mode=args.mode)
+        print(f"{page.url}: {metrics.render_time_ms:.0f} ms, "
+              f"blocked {metrics.images_blocked_by_percival} by CNN, "
+              f"{metrics.images_blocked_by_list} by lists")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.core.config import PercivalConfig
+    from repro.crawl.phases import run_crawl_phases
+
+    result = run_crawl_phases(
+        num_phases=args.phases,
+        sites_per_phase=5,
+        pages_per_site=2,
+        epochs_per_phase=8,
+        seed=args.seed,
+        config=PercivalConfig(
+            input_size=16, epochs=8,
+            num_train_ads=100, num_train_nonads=100,
+        ),
+    )
+    for phase in result.phases:
+        print(f"phase {phase.phase}: corpus={phase.corpus_size} "
+              f"holdout_acc={phase.holdout_accuracy:.3f}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core import get_reference_classifier
+    from repro.eval.experiments.easylist_replication import (
+        run_easylist_replication_experiment,
+    )
+    from repro.eval.experiments.external_dataset import (
+        run_external_dataset_experiment,
+    )
+    from repro.eval.experiments.facebook import run_facebook_experiment
+    from repro.eval.experiments.image_search import (
+        run_image_search_experiment,
+    )
+    from repro.eval.experiments.languages import run_languages_experiment
+    from repro.eval.experiments.render_performance import (
+        run_render_performance_experiment,
+    )
+
+    classifier = get_reference_classifier(verbose=True)
+    drivers = [
+        lambda: run_easylist_replication_experiment(
+            classifier=classifier, num_sites=30),
+        lambda: run_external_dataset_experiment(
+            classifier=classifier, sample_size=600),
+        lambda: run_facebook_experiment(classifier=classifier, days=10),
+        lambda: run_image_search_experiment(
+            classifier=classifier, per_query=50),
+        lambda: run_languages_experiment(
+            classifier=classifier, sites_per_language=6),
+        lambda: run_render_performance_experiment(
+            classifier=classifier, num_pages=40),
+    ]
+    for driver in drivers:
+        print(driver().to_table())
+        print()
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("train", help="train/load the reference model")
+
+    classify = sub.add_parser("classify", help="classify sample images")
+    classify.add_argument("--count", type=int, default=8)
+    classify.add_argument("--seed", type=int, default=0)
+
+    render = sub.add_parser("render", help="render pages with PERCIVAL")
+    render.add_argument("--pages", type=int, default=5)
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--brave", action="store_true")
+    render.add_argument("--mode", choices=("sync", "async"),
+                        default="sync")
+
+    crawl = sub.add_parser("crawl", help="run the crawl/retrain loop")
+    crawl.add_argument("--phases", type=int, default=3)
+    crawl.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="run the main experiment suite")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "classify": _cmd_classify,
+        "render": _cmd_render,
+        "crawl": _cmd_crawl,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Blink-shaped browser rendering substrate.
+
+The paper integrates PERCIVAL into Blink between the image-decode step
+and the raster task (§3).  This package reproduces that pipeline shape
+in Python:
+
+``fetch -> parse (HTML->DOM) -> style/element-hiding -> layout tree ->
+display list -> [decode image -> PERCIVAL hook -> raster]* on parallel
+raster workers``
+
+with Skia-analog classes (:class:`SkImage`,
+:class:`DecodingImageGenerator`, :class:`BitmapImage`) practicing
+deferred decoding exactly as Chromium does, toy-but-real image codecs,
+and a virtual clock whose one externally-calibrated constant is the
+classifier's measured inference latency.
+
+Render time is reported as ``domComplete - domLoading`` (§5.7).
+"""
+
+from repro.browser.dom import DomNode, Document
+from repro.browser.html import parse_html
+from repro.browser.codecs import (
+    ImageFormat,
+    EncodedImage,
+    encode_image,
+    decode_image,
+)
+from repro.browser.skia import (
+    SkImageInfo,
+    SkImage,
+    DecodingImageGenerator,
+    BitmapImage,
+)
+from repro.browser.network import MockNetwork, NetworkConfig
+from repro.browser.layout import LayoutBox, build_layout_tree
+from repro.browser.display_list import DisplayItem, build_display_list
+from repro.browser.raster import RasterConfig, rasterize
+from repro.browser.renderer import (
+    BrowserProfile,
+    CHROMIUM,
+    BRAVE,
+    Renderer,
+    RenderMetrics,
+)
+
+__all__ = [
+    "DomNode",
+    "Document",
+    "parse_html",
+    "ImageFormat",
+    "EncodedImage",
+    "encode_image",
+    "decode_image",
+    "SkImageInfo",
+    "SkImage",
+    "DecodingImageGenerator",
+    "BitmapImage",
+    "MockNetwork",
+    "NetworkConfig",
+    "LayoutBox",
+    "build_layout_tree",
+    "DisplayItem",
+    "build_display_list",
+    "RasterConfig",
+    "rasterize",
+    "BrowserProfile",
+    "CHROMIUM",
+    "BRAVE",
+    "Renderer",
+    "RenderMetrics",
+]

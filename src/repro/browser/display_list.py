@@ -1,0 +1,62 @@
+"""Display-list generation.
+
+Blink encodes each layout box plus its paint instructions as a display
+item; rasterization consumes the list tile by tile.  Items here carry
+the geometry needed for tile assignment and — for image items — the
+resource URL resolved during raster via the network layer's cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.browser.layout import LayoutBox
+
+
+class DisplayItemKind(enum.Enum):
+    RECT = "rect"
+    TEXT = "text"
+    IMAGE = "image"
+
+
+@dataclass
+class DisplayItem:
+    """One draw command with its target rect."""
+
+    kind: DisplayItemKind
+    x: int
+    y: int
+    width: int
+    height: int
+    url: str = ""  # image items only
+
+    @property
+    def rect(self) -> Tuple[int, int, int, int]:
+        return self.x, self.y, self.width, self.height
+
+    def intersects_band(self, band_top: int, band_bottom: int) -> bool:
+        """Does this item's rect overlap the [top, bottom) raster band?"""
+        return self.y < band_bottom and (self.y + self.height) > band_top
+
+
+def build_display_list(root: LayoutBox) -> List[DisplayItem]:
+    """Flatten the layout tree into paint order (pre-order)."""
+    items: List[DisplayItem] = []
+    for box in root.walk():
+        node = box.node
+        if node.tag == "#text":
+            items.append(DisplayItem(
+                DisplayItemKind.TEXT, box.x, box.y, box.width, box.height
+            ))
+        elif node.tag in ("img", "iframe") and node.src:
+            items.append(DisplayItem(
+                DisplayItemKind.IMAGE, box.x, box.y, box.width, box.height,
+                url=node.src,
+            ))
+        elif node.tag in ("div", "body", "h1", "p", "section", "header"):
+            items.append(DisplayItem(
+                DisplayItemKind.RECT, box.x, box.y, box.width, box.height
+            ))
+    return items

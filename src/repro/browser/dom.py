@@ -1,0 +1,99 @@
+"""DOM tree model."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Elements that never have children (HTML void elements).
+VOID_ELEMENTS = frozenset({
+    "img", "br", "hr", "meta", "link", "input", "area", "base",
+    "col", "embed", "source", "track", "wbr",
+})
+
+
+class DomNode:
+    """One element (or text run) in the document tree."""
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ) -> None:
+        self.tag = tag.lower()
+        self.attributes = dict(attributes or {})
+        self.text = text
+        self.children: List[DomNode] = []
+        self.parent: Optional[DomNode] = None
+        #: set by the style phase when an element-hiding rule fires
+        self.hidden = False
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def append(self, child: "DomNode") -> "DomNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Attribute helpers
+    # ------------------------------------------------------------------
+    @property
+    def element_id(self) -> str:
+        return self.attributes.get("id", "")
+
+    @property
+    def css_classes(self) -> Tuple[str, ...]:
+        raw = self.attributes.get("class", "")
+        return tuple(c for c in raw.split() if c)
+
+    @property
+    def src(self) -> str:
+        return self.attributes.get("src", "")
+
+    def int_attribute(self, name: str, default: int = 0) -> int:
+        try:
+            return int(self.attributes.get(name, default))
+        except (TypeError, ValueError):
+            return default
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["DomNode"]:
+        """Depth-first pre-order traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, tag: str) -> List["DomNode"]:
+        return [node for node in self.walk() if node.tag == tag]
+
+    def __repr__(self) -> str:
+        return f"<DomNode {self.tag} id={self.element_id!r}>"
+
+
+class Document:
+    """Parsed document: root node plus convenience accessors."""
+
+    def __init__(self, root: DomNode, url: str = "") -> None:
+        self.root = root
+        self.url = url
+
+    @property
+    def body(self) -> Optional[DomNode]:
+        for node in self.root.walk():
+            if node.tag == "body":
+                return node
+        return None
+
+    def resource_elements(self) -> List[DomNode]:
+        """Elements that trigger subresource loads (img / iframe)."""
+        return [
+            node for node in self.root.walk()
+            if node.tag in ("img", "iframe") and node.src
+        ]
+
+    def element_count(self) -> int:
+        return sum(1 for node in self.root.walk() if node.tag != "#text")

@@ -1,0 +1,103 @@
+"""A small HTML tokenizer and tree builder.
+
+Handles the markup the synthetic web emits (and reasonable hand-written
+HTML): nested elements, attributes in single/double/no quotes, void
+elements, self-closing syntax, comments, and stray close tags.  It is
+not a spec-complete HTML5 parser — no implied-tag insertion beyond
+html/body recovery, no entity decoding — but every construct the
+substrate produces round-trips through it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, Tuple
+
+from repro.browser.dom import Document, DomNode, VOID_ELEMENTS
+
+_TAG_RE = re.compile(
+    r"<!--.*?-->"                      # comments
+    r"|<\s*(?P<close>/)?\s*(?P<name>[a-zA-Z][a-zA-Z0-9-]*)"
+    r"(?P<attrs>[^>]*?)"
+    r"(?P<selfclose>/)?\s*>",
+    re.DOTALL,
+)
+
+_ATTR_RE = re.compile(
+    r"(?P<key>[a-zA-Z_:][a-zA-Z0-9_:.-]*)"
+    r"(?:\s*=\s*(?P<value>\"[^\"]*\"|'[^']*'|[^\s\"'>]+))?"
+)
+
+
+def _parse_attributes(raw: str) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        key = match.group("key").lower()
+        value = match.group("value")
+        if value is None:
+            attributes[key] = ""
+        elif value[:1] in "\"'":
+            attributes[key] = value[1:-1]
+        else:
+            attributes[key] = value
+    return attributes
+
+
+def _tokens(html: str) -> Iterator[Tuple[str, object]]:
+    """Yield ('text', str) and ('open'/'close'/'void', ...) tokens."""
+    position = 0
+    for match in _TAG_RE.finditer(html):
+        if match.start() > position:
+            text = html[position:match.start()]
+            if text.strip():
+                yield "text", text.strip()
+        position = match.end()
+        if match.group(0).startswith("<!--"):
+            continue
+        name = (match.group("name") or "").lower()
+        if not name:
+            continue
+        if match.group("close"):
+            yield "close", name
+        else:
+            attributes = _parse_attributes(match.group("attrs") or "")
+            if match.group("selfclose") or name in VOID_ELEMENTS:
+                yield "void", (name, attributes)
+            else:
+                yield "open", (name, attributes)
+    if position < len(html):
+        tail = html[position:]
+        if tail.strip():
+            yield "text", tail.strip()
+
+
+def parse_html(html: str, url: str = "") -> Document:
+    """Parse markup into a :class:`Document`.
+
+    Recovery rules: an unmatched close tag pops up to the nearest open
+    element of that name (or is dropped); unclosed elements are closed
+    at end of input; text outside any element attaches to the root.
+    """
+    root = DomNode("#document")
+    stack = [root]
+
+    for kind, payload in _tokens(html):
+        if kind == "text":
+            stack[-1].append(DomNode("#text", text=str(payload)))
+        elif kind == "void":
+            name, attributes = payload
+            stack[-1].append(DomNode(name, attributes))
+        elif kind == "open":
+            name, attributes = payload
+            node = DomNode(name, attributes)
+            stack[-1].append(node)
+            stack.append(node)
+        elif kind == "close":
+            name = str(payload)
+            for depth in range(len(stack) - 1, 0, -1):
+                if stack[depth].tag == name:
+                    del stack[depth:]
+                    break
+            # unmatched close tags are dropped silently
+
+    return Document(root, url=url)

@@ -1,0 +1,92 @@
+"""Layout tree construction.
+
+Blink turns the DOM into a layout tree whose boxes carry on-screen
+geometry; display items are generated from it.  The substrate implements
+a simplified block-flow layout: children stack vertically, images and
+iframes size themselves from their width/height attributes, text runs
+get line boxes, and hidden elements (filter-list element hiding) produce
+no boxes.  The geometry feeds tile assignment during raster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.browser.dom import Document, DomNode
+
+#: Default viewport width in CSS px (desktop profile).
+VIEWPORT_WIDTH = 1280
+
+#: Fallback block height for elements without intrinsic size.
+_DEFAULT_BLOCK_HEIGHT = 24
+_TEXT_LINE_HEIGHT = 18
+
+
+@dataclass
+class LayoutBox:
+    """A laid-out element: node reference plus content rect."""
+
+    node: DomNode
+    x: int
+    y: int
+    width: int
+    height: int
+    children: List["LayoutBox"] = field(default_factory=list)
+
+    @property
+    def rect(self) -> Tuple[int, int, int, int]:
+        return self.x, self.y, self.width, self.height
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_layout_tree(
+    document: Document, viewport_width: int = VIEWPORT_WIDTH
+) -> LayoutBox:
+    """Lay out the document; returns the root box (page extent)."""
+    body = document.body or document.root
+    root = LayoutBox(node=body, x=0, y=0, width=viewport_width, height=0)
+    cursor_y = 0
+    for child in body.children:
+        box = _layout_node(child, 0, cursor_y, viewport_width)
+        if box is None:
+            continue
+        root.children.append(box)
+        cursor_y = box.y + box.height
+    root.height = cursor_y
+    return root
+
+
+def _layout_node(
+    node: DomNode, x: int, y: int, available_width: int
+) -> Optional[LayoutBox]:
+    if node.hidden:
+        return None
+    if node.tag == "#text":
+        lines = max(1, len(node.text) // 80 + 1)
+        return LayoutBox(node, x, y, available_width,
+                         lines * _TEXT_LINE_HEIGHT)
+
+    if node.tag in ("img", "iframe"):
+        width = node.int_attribute("width", 0) or min(300, available_width)
+        height = node.int_attribute("height", 0) or 150
+        width = min(width, available_width)
+        return LayoutBox(node, x, y, width, height)
+
+    # generic block container: stack children vertically
+    box = LayoutBox(node, x, y, available_width, 0)
+    cursor_y = y
+    for child in node.children:
+        child_box = _layout_node(child, x, cursor_y, available_width)
+        if child_box is None:
+            continue
+        box.children.append(child_box)
+        cursor_y = child_box.y + child_box.height
+    box.height = max(cursor_y - y, _DEFAULT_BLOCK_HEIGHT
+                     if node.tag not in ("html", "body", "#document")
+                     else 0)
+    return box

@@ -1,0 +1,294 @@
+"""The renderer process: full pipeline with virtual-clock metrics.
+
+Orchestrates fetch -> parse -> (shields) -> layout -> display list ->
+raster for one page and reports ``domComplete - domLoading`` — the
+render-time metric of §5.7.  Two browser profiles are provided:
+
+* :data:`CHROMIUM` — no list-based blocking; every resource loads.
+* :data:`BRAVE` — shields on: the synthetic EasyList blocks ad requests
+  before fetch and hides matching elements before layout, and blocked
+  ad/tracker script work is reflected as a lower script-cost multiplier.
+  This is why Brave's *baseline* is much faster, and consequently why a
+  fixed per-image classification cost is a larger *fraction* there
+  (Figure 15's 4.55% vs 19.07% asymmetry).
+
+PERCIVAL attaches in one of two modes (§1.1):
+
+* ``mode="sync"`` — classification runs on the raster lane before the
+  frame paints (blocking deployment; adds render latency),
+* ``mode="async"`` — frames paint immediately while classification runs
+  off the critical path; verdicts are memoized so the ad is blocked on
+  the *next* encounter.  Ads that painted before their verdict are
+  counted as ``flashed_ads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.browser.display_list import build_display_list
+from repro.browser.html import parse_html
+from repro.browser.layout import build_layout_tree
+from repro.browser.network import MockNetwork
+from repro.browser.raster import RasterConfig, rasterize
+from repro.browser.skia import BitmapImage, SkImageInfo
+from repro.filterlist.engine import FilterEngine
+from repro.synth.webgen import Page
+from repro.utils.clock import WorkerLanes
+from repro.utils.rng import derive, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.revisit import RevisitMemory
+
+
+class BlockerProtocol(Protocol):
+    """What the renderer needs from an ad blocker implementation."""
+
+    def classify_bitmap(self, bitmap: np.ndarray, info: SkImageInfo) -> bool:
+        """True if the decoded frame is an ad (should be blocked)."""
+        ...
+
+    def classify_cost_ms(self, info: SkImageInfo) -> float:
+        """Virtual cost of one classification at this image size."""
+        ...
+
+    def memoized_verdict(self, bitmap: np.ndarray) -> Optional[bool]:
+        """Cached verdict for this bitmap, if previously classified."""
+        ...
+
+
+@dataclass
+class BrowserProfile:
+    """Static configuration of a browser build."""
+
+    name: str
+    raster_threads: int = 4
+    script_cost_multiplier: float = 1.0
+    script_base_cost_ms: float = 2400.0
+    parse_cost_per_char_ms: float = 0.002
+    layout_cost_per_node_ms: float = 0.12
+    style_cost_per_node_ms: float = 0.05
+    display_item_cost_ms: float = 0.02
+    filter_engine: Optional[FilterEngine] = None
+
+    @property
+    def shields_on(self) -> bool:
+        return self.filter_engine is not None
+
+
+def _brave_profile() -> BrowserProfile:
+    # imported lazily to avoid a hard import cycle at module load
+    from repro.filterlist.easylist import default_easylist
+
+    return BrowserProfile(
+        name="brave",
+        script_cost_multiplier=0.25,
+        filter_engine=default_easylist(),
+    )
+
+
+CHROMIUM = BrowserProfile(name="chromium")
+BRAVE = _brave_profile()
+
+
+@dataclass
+class RenderMetrics:
+    """Per-page outcome: timings (virtual ms) and blocking counts."""
+
+    url: str
+    dom_loading_ms: float
+    dom_complete_ms: float
+    fetch_html_ms: float = 0.0
+    script_ms: float = 0.0
+    parse_ms: float = 0.0
+    style_ms: float = 0.0
+    layout_ms: float = 0.0
+    display_list_ms: float = 0.0
+    image_fetch_ms: float = 0.0
+    raster_ms: float = 0.0
+    classify_cost_ms: float = 0.0
+    async_classify_ms: float = 0.0
+    images_total: int = 0
+    images_blocked_by_list: int = 0
+    images_blocked_by_percival: int = 0
+    images_decoded: int = 0
+    elements_hidden: int = 0
+    elements_collapsed_by_memory: int = 0
+    flashed_ads: int = 0
+    memo_hits: int = 0
+
+    @property
+    def render_time_ms(self) -> float:
+        """The paper's metric: domComplete - domLoading."""
+        return self.dom_complete_ms - self.dom_loading_ms
+
+
+class Renderer:
+    """Renders synthetic pages under a browser profile."""
+
+    def __init__(
+        self,
+        profile: BrowserProfile,
+        network: MockNetwork,
+        raster_config: Optional[RasterConfig] = None,
+    ) -> None:
+        self.profile = profile
+        self.network = network
+        self.raster_config = raster_config or RasterConfig(
+            num_workers=profile.raster_threads
+        )
+
+    def render(
+        self,
+        page: Page,
+        percival: Optional[BlockerProtocol] = None,
+        mode: str = "sync",
+        revisit_memory: Optional["RevisitMemory"] = None,
+    ) -> RenderMetrics:
+        """Render one page; returns its metrics.
+
+        ``percival=None`` renders the baseline configuration.  With a
+        ``revisit_memory``, elements whose resources PERCIVAL blocked on
+        a previous visit are hidden *before layout* — the §6 fix for
+        dangling slots: the container collapses and neither fetch nor
+        decode nor classification is paid again.
+        """
+        if mode not in ("sync", "async"):
+            raise ValueError(f"unknown blocking mode {mode!r}")
+        profile = self.profile
+        metrics = RenderMetrics(
+            url=page.url, dom_loading_ms=0.0, dom_complete_ms=0.0
+        )
+        clock = 0.0
+
+        # -- fetch + parse the main document -------------------------------
+        html = page.html
+        metrics.fetch_html_ms = 40.0 + len(html) / 200_000.0
+        clock += metrics.fetch_html_ms
+        document = parse_html(html, url=page.url)
+        metrics.parse_ms = len(html) * profile.parse_cost_per_char_ms
+        clock += metrics.parse_ms
+
+        # -- scripting (ad/tracker JS dominates real pages) ----------------
+        metrics.script_ms = (
+            page.complexity
+            * profile.script_base_cost_ms
+            * profile.script_cost_multiplier
+        )
+        clock += metrics.script_ms
+
+        # -- style + element hiding (shields) -------------------------------
+        node_count = document.element_count()
+        metrics.style_ms = node_count * profile.style_cost_per_node_ms
+        clock += metrics.style_ms
+        if profile.filter_engine is not None:
+            for node in document.root.walk():
+                if node.tag == "#text":
+                    continue
+                rule = profile.filter_engine.should_hide_element(
+                    node.tag, node.css_classes, node.element_id,
+                    page.site_domain,
+                )
+                if rule is not None:
+                    node.hidden = True
+                    metrics.elements_hidden += 1
+
+        # -- subresource filtering + fetch ----------------------------------
+        resources = document.resource_elements()
+        metrics.images_total = len(resources)
+        allowed_urls: List[str] = []
+        for node in resources:
+            if node.hidden:
+                metrics.images_blocked_by_list += 1
+                continue
+            if revisit_memory is not None and \
+                    revisit_memory.should_collapse(node.src):
+                # blocked on a previous visit: collapse the element
+                # before layout; no fetch, decode or classification.
+                node.hidden = True
+                metrics.elements_collapsed_by_memory += 1
+                continue
+            if profile.filter_engine is not None:
+                decision = profile.filter_engine.check_request(
+                    node.src, page.site_domain, "image"
+                )
+                if decision.blocked:
+                    node.hidden = True
+                    metrics.images_blocked_by_list += 1
+                    continue
+            allowed_urls.append(node.src)
+        fetchable = [u for u in allowed_urls if self.network.has(u)]
+        metrics.image_fetch_ms = self.network.fetch_all_cost_ms(fetchable)
+        clock += metrics.image_fetch_ms
+
+        # -- layout + display list ------------------------------------------
+        layout_root = build_layout_tree(document)
+        metrics.layout_ms = node_count * profile.layout_cost_per_node_ms
+        clock += metrics.layout_ms
+        display_list = build_display_list(layout_root)
+        metrics.display_list_ms = (
+            len(display_list) * profile.display_item_cost_ms
+        )
+        clock += metrics.display_list_ms
+
+        # -- decode + classify + raster --------------------------------------
+        images: Dict[str, BitmapImage] = {
+            url: BitmapImage(self.network.fetch(url)) for url in fetchable
+        }
+        hook = None
+        cost_fn = lambda url: 0.0  # noqa: E731 - tiny closure
+        async_lanes: Optional[WorkerLanes] = None
+
+        if percival is not None and mode == "sync":
+            def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
+                return percival.classify_bitmap(bitmap, info)
+
+            def cost_fn(url: str) -> float:
+                info = images[url].sk_image.info
+                return percival.classify_cost_ms(info)
+
+        elif percival is not None and mode == "async":
+            async_lanes = WorkerLanes(profile.raster_threads)
+
+            def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
+                cached = percival.memoized_verdict(bitmap)
+                if cached is not None:
+                    metrics.memo_hits += 1
+                    return cached
+                # classify off the critical path; frame paints meanwhile
+                verdict = percival.classify_bitmap(bitmap, info)
+                async_lanes.submit(percival.classify_cost_ms(info))
+                if verdict:
+                    metrics.flashed_ads += 1
+                return False  # never blocks the current paint
+
+            def cost_fn(url: str) -> float:
+                return 0.05  # enqueue cost only
+
+        raster = rasterize(
+            display_list,
+            layout_root.height,
+            images,
+            config=self.raster_config,
+            percival_hook=hook,
+            classify_cost_ms=cost_fn,
+        )
+        metrics.raster_ms = raster.makespan_ms
+        metrics.classify_cost_ms = raster.classify_cost_ms
+        metrics.images_decoded = raster.images_decoded
+        metrics.images_blocked_by_percival = raster.images_blocked
+        if async_lanes is not None:
+            metrics.async_classify_ms = async_lanes.makespan_ms
+        if revisit_memory is not None:
+            for url, bitmap_image in images.items():
+                if bitmap_image.blocked:
+                    revisit_memory.record_blocked(url)
+        clock += raster.makespan_ms
+
+        metrics.dom_complete_ms = clock
+        return metrics

@@ -1,0 +1,36 @@
+"""PERCIVAL's core: the in-browser perceptual ad blocker.
+
+The paper's primary contribution, as a library:
+
+* :class:`AdClassifier` — preprocessing + the compressed CNN; verdicts
+  and probabilities per decoded bitmap,
+* :class:`PercivalBlocker` — the render-pipeline face of the system:
+  implements the hook the browser substrate calls after every image
+  decode, with the synchronous (blocking) and asynchronous (memoizing)
+  deployments of §1.1,
+* :class:`GradCam` — salience maps for the Figure 4 interpretability
+  analysis,
+* :func:`get_reference_classifier` — the train-once-and-cache entry
+  point experiments and examples share.
+"""
+
+from repro.core.config import PercivalConfig
+from repro.core.preprocessing import preprocess_bitmap, preprocess_batch
+from repro.core.classifier import AdClassifier
+from repro.core.blocker import PercivalBlocker, BlockDecision
+from repro.core.gradcam import GradCam
+from repro.core.modelstore import get_reference_classifier, ModelStore
+from repro.core.revisit import RevisitMemory
+
+__all__ = [
+    "PercivalConfig",
+    "preprocess_bitmap",
+    "preprocess_batch",
+    "AdClassifier",
+    "PercivalBlocker",
+    "BlockDecision",
+    "GradCam",
+    "get_reference_classifier",
+    "ModelStore",
+    "RevisitMemory",
+]

@@ -1,0 +1,113 @@
+"""The render-pipeline blocker.
+
+:class:`PercivalBlocker` is what the browser substrate talks to (it
+satisfies ``repro.browser.renderer.BlockerProtocol``): a verdict per
+decoded bitmap, a calibrated virtual cost per classification, and a
+memoization cache keyed on the decoded pixels (the async deployment of
+§1.1 — results are memoized, "thus speeding up the classification
+process", and a previously-seen creative blocks instantly on the next
+encounter).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.browser.skia import SkImageInfo
+from repro.core.classifier import AdClassifier
+from repro.utils.hashing import image_fingerprint
+
+
+@dataclass
+class BlockDecision:
+    """A verdict with provenance (fresh classification vs memo hit)."""
+
+    is_ad: bool
+    probability: float
+    from_cache: bool
+
+
+class PercivalBlocker:
+    """PERCIVAL as seen by the rendering engine."""
+
+    def __init__(
+        self,
+        classifier: AdClassifier,
+        calibrated_latency_ms: Optional[float] = None,
+        memo_capacity: int = 4096,
+    ) -> None:
+        self.classifier = classifier
+        if calibrated_latency_ms is None:
+            calibrated_latency_ms = (
+                classifier.config.calibrated_latency_ms
+                if classifier.config.calibrated_latency_ms is not None
+                else classifier.measured_latency_ms()
+            )
+        #: virtual cost charged per classification in render simulations
+        self.calibrated_latency_ms = float(calibrated_latency_ms)
+        self._memo: "OrderedDict[str, BlockDecision]" = OrderedDict()
+        self._memo_capacity = memo_capacity
+        self.classifications = 0
+        self.blocks = 0
+
+    # ------------------------------------------------------------------
+    # BlockerProtocol
+    # ------------------------------------------------------------------
+    def classify_bitmap(self, bitmap: np.ndarray, info: SkImageInfo) -> bool:
+        """Classify a decoded frame; memoizes and returns the verdict."""
+        decision = self.decide(bitmap)
+        return decision.is_ad
+
+    def classify_cost_ms(self, info: SkImageInfo) -> float:
+        """Virtual cost of one classification.
+
+        The model is fixed-input (frames are scaled to the network size
+        before inference), so cost does not scale with the source image;
+        the decode step already accounted for size-dependent work.
+        """
+        return self.calibrated_latency_ms
+
+    def memoized_verdict(self, bitmap: np.ndarray) -> Optional[bool]:
+        key = image_fingerprint(bitmap)
+        cached = self._memo.get(key)
+        if cached is None:
+            return None
+        self._memo.move_to_end(key)
+        return cached.is_ad
+
+    # ------------------------------------------------------------------
+    # Rich API
+    # ------------------------------------------------------------------
+    def decide(self, bitmap: np.ndarray) -> BlockDecision:
+        """Full decision record for a bitmap, using the memo cache."""
+        key = image_fingerprint(bitmap)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+            return BlockDecision(
+                is_ad=cached.is_ad,
+                probability=cached.probability,
+                from_cache=True,
+            )
+        probability = self.classifier.ad_probability(bitmap)
+        is_ad = probability >= self.classifier.config.ad_threshold
+        decision = BlockDecision(
+            is_ad=is_ad, probability=probability, from_cache=False
+        )
+        self._memo[key] = decision
+        if len(self._memo) > self._memo_capacity:
+            self._memo.popitem(last=False)
+        self.classifications += 1
+        self.blocks += int(is_ad)
+        return decision
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        self._memo.clear()

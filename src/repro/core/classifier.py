@@ -1,0 +1,132 @@
+"""The ad classifier: preprocessing + the compressed CNN."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PercivalConfig
+from repro.core.preprocessing import preprocess_batch, preprocess_bitmap
+from repro.models.percivalnet import LABEL_AD, PercivalNet, build_percival_net
+from repro.models.zoo import model_size_mb
+from repro.nn import Trainer, TrainConfig, TrainReport, softmax
+from repro.nn.serialization import load_weights, save_weights
+from repro.utils.timing import measure_latency
+
+
+class AdClassifier:
+    """Classifies decoded bitmaps as ad / non-ad.
+
+    Wraps a :class:`PercivalNet` with the preprocessing step and exposes
+    the operations the rest of the system needs: probability scoring,
+    thresholded verdicts, training, persistence, and measured inference
+    latency (the number the render experiments calibrate against).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PercivalConfig] = None,
+        network: Optional[PercivalNet] = None,
+    ) -> None:
+        self.config = config or PercivalConfig()
+        self.network = network or build_percival_net(
+            input_size=self.config.input_size,
+            in_channels=self.config.in_channels,
+            seed=self.config.seed,
+            width=self.config.width,
+        )
+        self.network.eval()
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def ad_probability(self, bitmap: np.ndarray) -> float:
+        """P(ad) for a single decoded bitmap."""
+        tensor = preprocess_bitmap(bitmap, self.config.input_size)
+        logits = self.network.forward(tensor[None, ...])
+        return float(softmax(logits, axis=1)[0, LABEL_AD])
+
+    def is_ad(self, bitmap: np.ndarray) -> bool:
+        """Thresholded verdict for one bitmap."""
+        return self.ad_probability(bitmap) >= self.config.ad_threshold
+
+    def ad_probabilities(
+        self, bitmaps: Sequence[np.ndarray], batch_size: int = 64
+    ) -> np.ndarray:
+        """P(ad) for a sequence of bitmaps (batched)."""
+        batch = preprocess_batch(bitmaps, self.config.input_size)
+        return self.predict_proba_tensor(batch, batch_size)
+
+    def predict_proba_tensor(
+        self, tensors: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """P(ad) for an already-preprocessed NCHW batch."""
+        probs: List[np.ndarray] = []
+        for start in range(0, tensors.shape[0], batch_size):
+            logits = self.network.forward(
+                tensors[start:start + batch_size]
+            )
+            probs.append(softmax(logits, axis=1)[:, LABEL_AD])
+        if not probs:
+            return np.empty(0, dtype=np.float32)
+        return np.concatenate(probs)
+
+    def predict_tensor(
+        self, tensors: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Thresholded 0/1 predictions for a preprocessed batch."""
+        probabilities = self.predict_proba_tensor(tensors, batch_size)
+        return (probabilities >= self.config.ad_threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        val_images: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+        epochs: Optional[int] = None,
+        lr: float = 0.01,
+    ) -> TrainReport:
+        """Train on a preprocessed NCHW corpus.
+
+        The paper's recipe uses lr=0.001 at 224 px over 63k images; the
+        reduced-scale default raises the rate accordingly.  All other
+        recipe pieces (SGD momentum 0.9, batch 24, step decay) hold.
+        """
+        train_config = TrainConfig(
+            lr=lr,
+            epochs=epochs if epochs is not None else self.config.epochs,
+            seed=self.config.seed,
+        )
+        trainer = Trainer(self.network, train_config)
+        report = trainer.fit(images, labels, val_images, val_labels)
+        self.network.eval()
+        return report
+
+    # ------------------------------------------------------------------
+    # Persistence and accounting
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        save_weights(self.network, path)
+
+    def load(self, path: str) -> None:
+        load_weights(self.network, path)
+        self.network.eval()
+
+    @property
+    def model_size_mb(self) -> float:
+        return model_size_mb(self.network)
+
+    def measured_latency_ms(self, repeats: int = 5) -> float:
+        """Median wall-clock per-image inference latency (preprocessing
+        included), measured on this machine — the §5.7 calibration input.
+        """
+        rng = np.random.default_rng(0)
+        bitmap = rng.random((64, 64, 4)).astype(np.float32)
+        return measure_latency(
+            lambda: self.is_ad(bitmap), repeats=repeats, warmup=2
+        )

@@ -1,0 +1,39 @@
+"""PERCIVAL configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass(frozen=True)
+class PercivalConfig:
+    """Configuration of the classifier + blocker stack.
+
+    ``input_size=224, width=1.0`` is the paper's shipping model;
+    experiments default to the reduced profile (32 px, quarter width)
+    which trains at laptop scale — the architecture is identical.
+    """
+
+    input_size: int = 32
+    width: float = 0.25
+    in_channels: int = 4
+    seed: int = 0
+    ad_threshold: float = 0.5      # P(ad) above which a frame blocks
+    epochs: int = 12
+    num_train_ads: int = 1500
+    num_train_nonads: int = 1500
+    #: virtual per-image classification cost used by the render
+    #: experiments; None -> measure the real model's latency once.
+    calibrated_latency_ms: float | None = None
+
+    @classmethod
+    def paper(cls) -> "PercivalConfig":
+        """The full-size configuration of Figure 3 (224x224x4)."""
+        return cls(input_size=224, width=1.0)
+
+    def cache_key(self) -> dict:
+        """Stable dict identifying a trained-model cache entry."""
+        payload = asdict(self)
+        payload.pop("calibrated_latency_ms")
+        payload.pop("ad_threshold")
+        return payload

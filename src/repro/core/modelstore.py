@@ -1,0 +1,115 @@
+"""Train-once model caching.
+
+Experiments, benchmarks and examples all need "the trained PERCIVAL
+model".  Training even the reduced-scale model costs a minute or two,
+so the store trains once per configuration and caches weights under
+``<repo>/.cache/models``; subsequent calls load instantly.
+
+The reference training run follows the paper's §4.3/§4.4 methodology:
+transfer the stem from a (synthetically) pretrained SqueezeNet-style
+donor, then fine-tune on a balanced crawled corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.core.classifier import AdClassifier
+from repro.core.config import PercivalConfig
+from repro.data.corpus import build_training_corpus, CorpusConfig
+from repro.models.percivalnet import build_percival_net
+from repro.models.zoo import pretrain_stem, transfer_stem_weights
+from repro.utils.hashing import stable_hash
+
+
+def _default_cache_dir() -> str:
+    root = os.environ.get(
+        "PERCIVAL_CACHE",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache"),
+    )
+    return os.path.abspath(os.path.join(root, "models"))
+
+
+class ModelStore:
+    """Weight cache keyed by configuration hash."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir or _default_cache_dir()
+
+    def _paths(self, key: str) -> tuple:
+        return (
+            os.path.join(self.cache_dir, f"{key}.npz"),
+            os.path.join(self.cache_dir, f"{key}.json"),
+        )
+
+    def load_or_train(
+        self, config: PercivalConfig, verbose: bool = False
+    ) -> AdClassifier:
+        """Return a trained classifier for ``config`` (cached)."""
+        key = stable_hash(config.cache_key())[:16]
+        weights_path, meta_path = self._paths(key)
+        classifier = AdClassifier(config)
+
+        if os.path.exists(weights_path):
+            classifier.load(weights_path)
+            return classifier
+
+        report = self._train(classifier, config, verbose)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        classifier.save(weights_path)
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "config": config.cache_key(),
+                    "final_train_accuracy": report.final_train_accuracy,
+                    "final_val_accuracy": report.final_val_accuracy,
+                    "epochs": len(report.epochs),
+                },
+                handle,
+                indent=2,
+            )
+        return classifier
+
+    @staticmethod
+    def _train(
+        classifier: AdClassifier, config: PercivalConfig, verbose: bool
+    ):
+        # §4.3: reuse pretrained stem features (synthetic proxy donor).
+        donor = build_percival_net(
+            input_size=config.input_size,
+            in_channels=config.in_channels,
+            seed=config.seed + 1,
+            width=config.width,
+        )
+        pretrain_stem(donor, seed=config.seed)
+        transfer_stem_weights(donor, classifier.network, num_blocks=5)
+
+        corpus = build_training_corpus(CorpusConfig(
+            seed=config.seed,
+            num_ads=config.num_train_ads,
+            num_nonads=config.num_train_nonads,
+            input_size=config.input_size,
+        ))
+        train, val = corpus.split(0.9, seed=config.seed)
+        report = classifier.train(
+            train.images, train.labels, val.images, val.labels
+        )
+        if verbose:
+            print(
+                f"trained {len(report.epochs)} epochs: "
+                f"train_acc={report.final_train_accuracy:.3f} "
+                f"val_acc={report.final_val_accuracy}"
+            )
+        return report
+
+
+_store = ModelStore()
+
+
+def get_reference_classifier(
+    config: Optional[PercivalConfig] = None, verbose: bool = False
+) -> AdClassifier:
+    """The shared trained classifier (default reduced-scale config)."""
+    return _store.load_or_train(config or PercivalConfig(), verbose=verbose)

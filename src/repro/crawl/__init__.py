@@ -1,0 +1,43 @@
+"""Crawling infrastructure (§4.4).
+
+Two data-collection systems, mirroring the paper:
+
+* :mod:`repro.crawl.traditional` — a Selenium-style crawler that
+  screenshots EasyList-matched elements.  It inherits the method's two
+  real problems: EasyList labels are noisy, and dynamically-loading
+  elements race the screenshot, yielding blank captures.
+* :mod:`repro.crawl.pipeline` — the PERCIVAL-based crawler (Figure 5)
+  that reads every decoded frame out of the render pipeline, eliminating
+  the race, and buckets frames using the current model.
+* :mod:`repro.crawl.phases` — the 8-phase crawl / dedup / retrain loop
+  (§4.4.2) that grows the corpus and the model together.
+"""
+
+from repro.crawl.traditional import TraditionalCrawler, TraditionalCrawlStats
+from repro.crawl.pipeline import PipelineCrawler, PipelineCrawlStats
+from repro.crawl.dedup import deduplicate
+from repro.crawl.phases import run_crawl_phases, PhaseReport
+from repro.crawl.listgen import (
+    generate_block_list,
+    evaluate_list_generation,
+)
+from repro.crawl.crowdsource import (
+    aggregate_reports,
+    browse_and_report,
+    run_crowdsource_simulation,
+)
+
+__all__ = [
+    "TraditionalCrawler",
+    "TraditionalCrawlStats",
+    "PipelineCrawler",
+    "PipelineCrawlStats",
+    "deduplicate",
+    "run_crawl_phases",
+    "PhaseReport",
+    "generate_block_list",
+    "evaluate_list_generation",
+    "aggregate_reports",
+    "browse_and_report",
+    "run_crowdsource_simulation",
+]

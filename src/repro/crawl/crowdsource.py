@@ -1,0 +1,132 @@
+"""Crowd-sourced rule aggregation (§6 "Deployment Concerns").
+
+The paper's third deployment sketch: "collect URLs (and possibly XPath
+expressions) in the browser that are not already blocked by existing
+block lists, and then to crowd-source these from a variety of users."
+
+This module simulates that pipeline: many independent users browse
+different slices of the web with PERCIVAL; each reports the resource
+hosts/paths the model blocked that EasyList missed; a coordinator
+aggregates the reports and promotes only rules confirmed by at least
+``min_reporters`` distinct users — the consensus threshold that keeps a
+single user's false positives (or a poisoning attempt) out of the
+shared list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+from urllib.parse import urlparse
+
+from repro.core.classifier import AdClassifier
+from repro.filterlist.engine import FilterEngine
+from repro.synth.webgen import SyntheticWeb, WebConfig
+from repro.utils.rng import derive
+
+
+@dataclass
+class UserReport:
+    """Hosts a single user's PERCIVAL flagged beyond the filter list."""
+
+    user_id: int
+    flagged_hosts: Set[str] = field(default_factory=set)
+    pages_browsed: int = 0
+
+
+@dataclass
+class CrowdsourceResult:
+    reports: List[UserReport]
+    promoted_rules: List[str]
+    rejected_hosts: Dict[str, int]  # host -> reporter count (below bar)
+    consensus_threshold: int
+
+    def to_table(self) -> str:
+        from repro.eval.reporting import format_table
+        rows = [
+            ("users reporting", len(self.reports)),
+            ("consensus threshold", self.consensus_threshold),
+            ("promoted rules", len(self.promoted_rules)),
+            ("hosts below consensus", len(self.rejected_hosts)),
+        ]
+        return (
+            "== §6 deployment: crowd-sourced rule aggregation ==\n"
+            + format_table(("metric", "value"), rows)
+        )
+
+
+def browse_and_report(
+    user_id: int,
+    classifier: AdClassifier,
+    engine: FilterEngine,
+    seed: int,
+    num_sites: int = 6,
+    pages_per_site: int = 2,
+) -> UserReport:
+    """One simulated user's browsing session with in-browser reporting.
+
+    Each user sees a different slice of the synthetic web (own seed),
+    mirroring how real users' browsing diverges; only hosts whose
+    flagged resource the list did not block are reported.
+    """
+    web = SyntheticWeb(WebConfig(
+        seed=derive(seed, f"user{user_id}"), num_sites=num_sites,
+    ))
+    report = UserReport(user_id=user_id)
+    for page in web.iter_pages(web.top_sites(num_sites), pages_per_site):
+        report.pages_browsed += 1
+        for element in page.image_elements():
+            if engine.check_request(
+                element.url, page.site_domain, "image"
+            ).blocked:
+                continue
+            if classifier.is_ad(element.render()):
+                host = urlparse(element.url).netloc.lower()
+                # publishers' own hosts are never reported as domains;
+                # those need path-level rules (see listgen)
+                if host != page.site_domain:
+                    report.flagged_hosts.add(host)
+    return report
+
+
+def aggregate_reports(
+    reports: Sequence[UserReport],
+    min_reporters: int = 3,
+) -> CrowdsourceResult:
+    """Promote hosts confirmed by at least ``min_reporters`` users."""
+    if min_reporters < 1:
+        raise ValueError("min_reporters must be >= 1")
+    counts: Dict[str, int] = defaultdict(int)
+    for report in reports:
+        for host in report.flagged_hosts:
+            counts[host] += 1
+
+    promoted: List[str] = []
+    rejected: Dict[str, int] = {}
+    for host, count in sorted(counts.items()):
+        if count >= min_reporters:
+            promoted.append(f"||{host}^$image")
+        else:
+            rejected[host] = count
+    return CrowdsourceResult(
+        reports=list(reports),
+        promoted_rules=promoted,
+        rejected_hosts=rejected,
+        consensus_threshold=min_reporters,
+    )
+
+
+def run_crowdsource_simulation(
+    classifier: AdClassifier,
+    engine: FilterEngine,
+    num_users: int = 8,
+    min_reporters: int = 3,
+    seed: int = 990,
+) -> CrowdsourceResult:
+    """End-to-end: users browse, report, and the coordinator aggregates."""
+    reports = [
+        browse_and_report(user, classifier, engine, seed)
+        for user in range(num_users)
+    ]
+    return aggregate_reports(reports, min_reporters)

@@ -1,0 +1,10 @@
+"""Dataset containers and corpus builders."""
+
+from repro.data.dataset import LabeledImageDataset
+from repro.data.corpus import build_training_corpus, CorpusConfig
+
+__all__ = [
+    "LabeledImageDataset",
+    "build_training_corpus",
+    "CorpusConfig",
+]

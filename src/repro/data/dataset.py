@@ -1,0 +1,110 @@
+"""Labeled image dataset container.
+
+Holds preprocessed NCHW tensors plus integer labels (0 = non-ad,
+1 = ad, see :mod:`repro.models.percivalnet`) and supports the dataset
+operations the paper's methodology uses: class balancing (§4.4.1 caps
+both classes at the minority count), deterministic shuffling, splits,
+and concatenation (the 8-phase crawl accumulates data across phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class LabeledImageDataset:
+    """Images (N, C, H, W) with labels (N,) and optional metadata."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    metadata: List[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.images.shape[0]:
+            raise ValueError("labels must align with images")
+        if self.metadata and len(self.metadata) != len(self):
+            raise ValueError("metadata must align with images")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def concatenate(
+        cls, parts: Sequence["LabeledImageDataset"]
+    ) -> "LabeledImageDataset":
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        images = np.concatenate([p.images for p in parts], axis=0)
+        labels = np.concatenate([p.labels for p in parts], axis=0)
+        metadata: List[dict] = []
+        for part in parts:
+            metadata.extend(
+                part.metadata if part.metadata else [{}] * len(part)
+            )
+        return cls(images=images, labels=labels, metadata=metadata)
+
+    def subset(self, indices: np.ndarray) -> "LabeledImageDataset":
+        meta = (
+            [self.metadata[i] for i in indices] if self.metadata else []
+        )
+        return LabeledImageDataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            metadata=meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Methodology operations
+    # ------------------------------------------------------------------
+    def balanced(self, seed: int = 0) -> "LabeledImageDataset":
+        """Cap both classes at the minority count (paper §4.4.1)."""
+        rng = spawn_rng(seed, "balance")
+        positives = np.flatnonzero(self.labels == 1)
+        negatives = np.flatnonzero(self.labels == 0)
+        cap = min(len(positives), len(negatives))
+        if cap == 0:
+            raise ValueError("cannot balance a single-class dataset")
+        keep = np.concatenate([
+            rng.permutation(positives)[:cap],
+            rng.permutation(negatives)[:cap],
+        ])
+        rng.shuffle(keep)
+        return self.subset(keep)
+
+    def shuffled(self, seed: int = 0) -> "LabeledImageDataset":
+        rng = spawn_rng(seed, "shuffle")
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def split(
+        self, fraction: float, seed: int = 0
+    ) -> Tuple["LabeledImageDataset", "LabeledImageDataset"]:
+        """Random split into (first, second) with ``fraction`` in first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = spawn_rng(seed, "split")
+        order = rng.permutation(len(self))
+        cut = int(len(self) * fraction)
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def num_ads(self) -> int:
+        return int((self.labels == 1).sum())
+
+    @property
+    def num_nonads(self) -> int:
+        return int((self.labels == 0).sum())

@@ -1,0 +1,14 @@
+"""Evaluation harness: metrics + one driver per paper table/figure.
+
+Each experiment driver is a pure function returning a result dataclass
+with a ``to_table()`` method that prints the measured values next to
+the paper's reported values.  The benchmarks in ``benchmarks/`` are
+thin wrappers that call these drivers.
+"""
+
+from repro.eval.metrics import BinaryMetrics, confusion_metrics
+
+__all__ = [
+    "BinaryMetrics",
+    "confusion_metrics",
+]

@@ -1,0 +1,14 @@
+"""Experiment drivers, one per paper table/figure.
+
+| Driver module            | Paper artifact                     |
+|--------------------------|------------------------------------|
+| ``model_profile``        | Figure 3 / §2.3 model size+latency |
+| ``salience``             | Figure 4 (Grad-CAM)                |
+| ``crawler_comparison``   | Figure 5 / §4.4 methodology        |
+| ``easylist_replication`` | Figures 6 and 7                    |
+| ``external_dataset``     | Figure 8                           |
+| ``languages``            | Figure 9                           |
+| ``facebook``             | Figures 10-12                      |
+| ``image_search``         | Figure 13                          |
+| ``render_performance``   | Figures 14 and 15                  |
+"""

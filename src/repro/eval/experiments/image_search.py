@@ -1,0 +1,109 @@
+"""Figure 13: blocking Google Image Search results (§5.4).
+
+Per query, PERCIVAL classifies the top results; the paper reports
+blocked/rendered counts for the first 100 images and FP/FN for the
+queries whose ground truth it adjudicated:
+
+| query         | blocked | rendered | FP | FN |
+|---------------|--------:|---------:|---:|---:|
+| Obama         |      12 |       88 | 12 |  0 |
+| Advertisement |      96 |        4 |  0 |  4 |
+| Shoes         |      56 |       44 |  - |  - |
+| Pastry        |      14 |       86 |  - |  - |
+| Coffee        |      23 |       77 |  - |  - |
+| Detergent     |      85 |       15 | 10 |  6 |
+| iPhone        |      76 |       24 | 23 |  1 |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import AdClassifier
+from repro.core.modelstore import get_reference_classifier
+from repro.eval.reporting import format_table
+from repro.synth.search import (
+    ADJUDICATED_QUERIES,
+    ImageSearch,
+    QUERY_AD_INTENT,
+)
+
+PAPER: Dict[str, Dict[str, object]] = {
+    "Obama": {"blocked": 12, "fp": 12, "fn": 0},
+    "Advertisement": {"blocked": 96, "fp": 0, "fn": 4},
+    "Shoes": {"blocked": 56, "fp": None, "fn": None},
+    "Pastry": {"blocked": 14, "fp": None, "fn": None},
+    "Coffee": {"blocked": 23, "fp": None, "fn": None},
+    "Detergent": {"blocked": 85, "fp": 10, "fn": 6},
+    "iPhone": {"blocked": 76, "fp": 23, "fn": 1},
+}
+
+
+@dataclass
+class QueryResult:
+    query: str
+    blocked: int
+    rendered: int
+    fp: Optional[int]
+    fn: Optional[int]
+
+
+@dataclass
+class ImageSearchResult:
+    results: List[QueryResult]
+
+    def to_table(self) -> str:
+        rows = []
+        for result in self.results:
+            paper = PAPER.get(result.query, {})
+            rows.append((
+                result.query,
+                paper.get("blocked", "-"),
+                result.blocked,
+                result.rendered,
+                "-" if result.fp is None else result.fp,
+                "-" if result.fn is None else result.fn,
+            ))
+        return "== Figure 13: image search blocking ==\n" + format_table(
+            ("query", "blocked(paper)", "blocked", "rendered", "FP", "FN"),
+            rows,
+        )
+
+    def blocked_by_query(self) -> Dict[str, int]:
+        return {r.query: r.blocked for r in self.results}
+
+
+def run_image_search_experiment(
+    classifier: Optional[AdClassifier] = None,
+    queries: Sequence[str] = tuple(QUERY_AD_INTENT),
+    per_query: int = 100,
+    seed: int = 17,
+) -> ImageSearchResult:
+    """Classify the top ``per_query`` results for each query."""
+    classifier = classifier or get_reference_classifier()
+    search = ImageSearch(seed=seed)
+    out: List[QueryResult] = []
+
+    for query in queries:
+        results = search.results(query, per_query)
+        bitmaps = [r.render() for r in results]
+        probabilities = classifier.ad_probabilities(bitmaps)
+        predictions = probabilities >= classifier.config.ad_threshold
+        truths = np.array([r.is_ad for r in results])
+        blocked = int(predictions.sum())
+        if query in ADJUDICATED_QUERIES:
+            fp = int((predictions & ~truths).sum())
+            fn = int((~predictions & truths).sum())
+        else:
+            fp = fn = None
+        out.append(QueryResult(
+            query=query,
+            blocked=blocked,
+            rendered=per_query - blocked,
+            fp=fp,
+            fn=fn,
+        ))
+    return ImageSearchResult(out)

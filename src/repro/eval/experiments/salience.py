@@ -1,0 +1,104 @@
+"""Figure 4: salience maps of the CNN (§5.6).
+
+The paper's Grad-CAM analysis shows the network attending to ad visual
+cues — the AdChoices marker when present, text outlines, and product
+shapes — and staying diffuse on non-ad photos.  The quantitative
+reproduction checks:
+
+* on ad images carrying an AdChoices-style marker, salience mass in the
+  marker's corner region exceeds the area-proportional baseline,
+* ad images' salience maps are more concentrated (lower normalized
+  entropy) than non-ad images'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.classifier import AdClassifier
+from repro.core.gradcam import GradCam
+from repro.core.modelstore import get_reference_classifier
+from repro.eval.reporting import paper_vs_measured
+from repro.synth.adgen import AdSpec, generate_ad
+from repro.synth.contentgen import ContentKind, generate_content
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class SalienceResult:
+    marker_mass_ratio: float     # corner mass / area-proportional mass
+    ad_entropy: float            # mean normalized salience entropy (ads)
+    nonad_entropy: float         # same for non-ads
+    samples: int
+
+    def to_table(self) -> str:
+        rows = [
+            ("marker-corner mass ratio (>1 = attends to cue)",
+             "qualitative", self.marker_mass_ratio),
+            ("salience entropy (ads)", "more focused", self.ad_entropy),
+            ("salience entropy (non-ads)", "more diffuse",
+             self.nonad_entropy),
+        ]
+        return paper_vs_measured("Figure 4: Grad-CAM salience", rows)
+
+
+def _normalized_entropy(cam: np.ndarray) -> float:
+    flat = cam.reshape(-1).astype(np.float64)
+    total = flat.sum()
+    if total <= 0:
+        return 1.0
+    p = flat / total
+    entropy = -(p[p > 0] * np.log(p[p > 0])).sum()
+    return float(entropy / np.log(flat.size))
+
+
+def run_salience_experiment(
+    classifier: Optional[AdClassifier] = None,
+    samples: int = 24,
+    seed: int = 5,
+) -> SalienceResult:
+    """Measure salience concentration on cue regions."""
+    classifier = classifier or get_reference_classifier()
+    gradcam = GradCam(classifier)
+    rng = spawn_rng(seed, "salience")
+
+    # The marker cue is spatially localized, so it is visible at the
+    # mid-network feature maps (the paper inspects "Layer 5"); by the
+    # last fire module the pooling stack has averaged the corner away.
+    layers = gradcam.available_layers()
+    mid_layer = layers[len(layers) // 2]
+
+    marker_ratios: List[float] = []
+    ad_entropies: List[float] = []
+    nonad_entropies: List[float] = []
+
+    for _ in range(samples):
+        # ad carrying the marker cue (top-right corner by construction)
+        spec = AdSpec(slot_format="medium_rectangle", cue_strength=1.0)
+        ad = generate_ad(spawn_rng(int(rng.integers(2**31)), "ad"), spec)
+        height, width = ad.shape[:2]
+        corner = (int(width * 0.7), 0, width - int(width * 0.7),
+                  int(height * 0.35))
+        corner_area = (corner[2] * corner[3]) / (height * width)
+        mass = gradcam.cue_mass(ad, corner, layer=mid_layer)
+        if corner_area > 0:
+            marker_ratios.append(mass / corner_area)
+        ad_entropies.append(_normalized_entropy(gradcam.salience(ad)))
+
+        photo = generate_content(
+            spawn_rng(int(rng.integers(2**31)), "photo"),
+            kind=ContentKind.PHOTO,
+        )
+        nonad_entropies.append(
+            _normalized_entropy(gradcam.salience(photo))
+        )
+
+    return SalienceResult(
+        marker_mass_ratio=float(np.mean(marker_ratios)),
+        ad_entropy=float(np.mean(ad_entropies)),
+        nonad_entropy=float(np.mean(nonad_entropies)),
+        samples=samples,
+    )

@@ -1,0 +1,72 @@
+"""Binary classification metrics.
+
+Definitions follow the paper's §5.3: TP = ads correctly blocked, TN =
+non-ads correctly rendered, FP = non-ads incorrectly blocked, FN = ads
+missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion counts and the derived rates."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return float("nan")
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else float("nan")
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else float("nan")
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if np.isnan(p) or np.isnan(r) or (p + r) == 0:
+            return float("nan")
+        return 2 * p * r / (p + r)
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.4f} precision={self.precision:.4f} "
+            f"recall={self.recall:.4f} f1={self.f1:.4f} "
+            f"(tp={self.tp} tn={self.tn} fp={self.fp} fn={self.fn})"
+        )
+
+
+def confusion_metrics(
+    predictions: np.ndarray, truths: np.ndarray
+) -> BinaryMetrics:
+    """Compute metrics from 0/1 prediction and truth arrays."""
+    predictions = np.asarray(predictions).astype(bool)
+    truths = np.asarray(truths).astype(bool)
+    if predictions.shape != truths.shape:
+        raise ValueError("predictions and truths must align")
+    return BinaryMetrics(
+        tp=int((predictions & truths).sum()),
+        tn=int((~predictions & ~truths).sum()),
+        fp=int((predictions & ~truths).sum()),
+        fn=int((~predictions & truths).sum()),
+    )

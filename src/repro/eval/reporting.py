@@ -1,0 +1,43 @@
+"""Text-table formatting for experiment outputs.
+
+Every benchmark prints a "paper vs measured" table through these
+helpers so EXPERIMENTS.md and the bench logs stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table."""
+    columns = [list(map(_cell, col)) for col in zip(headers, *rows)]
+    widths = [max(len(value) for value in col) for col in columns]
+    lines: List[str] = []
+    header_line = "  ".join(
+        h.ljust(w) for h, w in zip(map(_cell, headers), widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(v).ljust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] = ("metric", "paper", "measured"),
+) -> str:
+    """Standard experiment output block."""
+    return f"== {title} ==\n{format_table(headers, rows)}"

@@ -1,0 +1,43 @@
+"""Adblock-Plus-syntax filter-list engine (the EasyList substrate).
+
+The paper compares PERCIVAL's decisions against EasyList, the dominant
+crowd-sourced filter list.  This package implements the relevant subset
+of the ABP rule language:
+
+* network rules — substring patterns with ``||`` domain anchors, ``|``
+  edge anchors, ``*`` wildcards, ``^`` separators, and the common
+  options (``domain=``, ``third-party``, ``image``),
+* exception rules (``@@`` prefix),
+* element-hiding rules (``##selector`` with optional domain scoping),
+
+plus a token-indexed matcher (how real ad blockers make rule lookup
+cheap) and a generator that produces a synthetic EasyList covering most
+— deliberately not all — of the synthetic ad ecosystem.
+"""
+
+from repro.filterlist.rules import (
+    NetworkRule,
+    ElementHideRule,
+    RuleParseError,
+    parse_rule,
+    parse_filter_list,
+)
+from repro.filterlist.matcher import TokenIndex
+from repro.filterlist.engine import FilterEngine, FilterDecision
+from repro.filterlist.easylist import (
+    build_synthetic_easylist,
+    default_easylist,
+)
+
+__all__ = [
+    "NetworkRule",
+    "ElementHideRule",
+    "RuleParseError",
+    "parse_rule",
+    "parse_filter_list",
+    "TokenIndex",
+    "FilterEngine",
+    "FilterDecision",
+    "build_synthetic_easylist",
+    "default_easylist",
+]

@@ -1,0 +1,78 @@
+"""Synthetic EasyList generation.
+
+Builds a filter list covering the synthetic ad ecosystem the way the
+real EasyList covers the real one: network rules for the *known* ad
+networks, path-keyword rules, element-hiding rules for the conventional
+ad CSS classes, a handful of exception rules, and filler rules for
+unrelated domains (EasyList is mostly rules that never fire on any given
+page).
+
+Coverage is deliberately imperfect — unknown networks, first-party ad
+serving, and obfuscated CSS classes slip through — because imperfect
+list coverage is precisely the gap PERCIVAL exists to close.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.filterlist.engine import FilterEngine
+from repro.synth.webgen import AD_NETWORKS, KNOWN_AD_CLASSES
+from repro.utils.rng import spawn_rng
+
+
+def build_synthetic_easylist(
+    seed: int = 0,
+    filler_rules: int = 400,
+) -> str:
+    """Generate the filter-list document as text."""
+    rng = spawn_rng(seed, "easylist")
+    lines: List[str] = [
+        "[Synthetic EasyList]",
+        "! Generated for the PERCIVAL reproduction; ABP syntax subset.",
+    ]
+
+    # Network rules for the known ad networks.
+    for network in AD_NETWORKS:
+        if not network.known_to_easylist:
+            continue
+        lines.append(f"||{network.domain}^$third-party")
+        lines.append(f"||{network.domain}{network.path_prefix}/*$image")
+
+    # Generic path-keyword rules (EasyList's classic /ads/ style).
+    lines.extend([
+        "/serve/*$third-party,image",
+        "/creative/*$third-party",
+        "*/banner/*$image",
+        "|https://px.*^$image,third-party",
+    ])
+
+    # Exceptions: one known network is allowlisted on one publisher
+    # (mirrors EasyList's publisher-negotiated exception entries).
+    lines.append("@@||ads.doublevision.test^$domain=news1.example")
+
+    # Element-hiding rules for the conventional ad classes.
+    for css_class in KNOWN_AD_CLASSES:
+        lines.append(f"##.{css_class}")
+    lines.append("news3.example###sidebar-promo")
+
+    # Filler rules for domains that never appear in the synthetic web;
+    # they exercise the token index without affecting decisions.
+    for index in range(filler_rules):
+        fake = f"unrelated{index}{rng.integers(10, 99)}.invalid"
+        lines.append(f"||{fake}^")
+    return "\n".join(lines)
+
+
+_default_engine: Optional[FilterEngine] = None
+
+
+def default_easylist(seed: int = 0) -> FilterEngine:
+    """Compiled engine for the default synthetic EasyList (cached)."""
+    global _default_engine
+    if _default_engine is None or seed != 0:
+        engine = FilterEngine.from_text(build_synthetic_easylist(seed))
+        if seed != 0:
+            return engine
+        _default_engine = engine
+    return _default_engine

@@ -1,0 +1,246 @@
+"""Parsing of Adblock-Plus-syntax filter rules.
+
+Supported grammar (the subset EasyList's ad-blocking core uses):
+
+``! comment``
+    Ignored.
+``@@pattern$options``
+    Exception (allow) network rule.
+``pattern$options``
+    Blocking network rule.  ``pattern`` may use ``||`` (domain anchor),
+    ``|`` (edge anchor), ``*`` (wildcard), ``^`` (separator).
+``domain1,~domain2##selector``
+    Element-hiding rule, optionally scoped to domains (``~`` negates).
+
+Recognized options: ``domain=a|b|~c``, ``third-party``, ``~third-party``,
+``image``, ``script`` (resource types other than image are parsed and
+matched but unused by the image-focused experiments).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+
+class RuleParseError(ValueError):
+    """Raised for rules outside the supported grammar."""
+
+
+_SEPARATOR_CLASS = r"[^A-Za-z0-9._%\-]"
+
+
+@dataclass(frozen=True)
+class NetworkRule:
+    """A compiled network (URL-pattern) rule."""
+
+    raw: str
+    pattern: str
+    is_exception: bool
+    regex: "re.Pattern[str]"
+    domains: FrozenSet[str] = frozenset()
+    excluded_domains: FrozenSet[str] = frozenset()
+    third_party: Optional[bool] = None
+    resource_types: FrozenSet[str] = frozenset()
+
+    def applies_to(
+        self,
+        page_domain: str,
+        third_party: bool,
+        resource_type: str,
+    ) -> bool:
+        """Check the rule's option constraints (not the URL pattern)."""
+        if self.third_party is not None and self.third_party != third_party:
+            return False
+        if self.resource_types and resource_type not in self.resource_types:
+            return False
+        if self.excluded_domains and _domain_in(page_domain, self.excluded_domains):
+            return False
+        if self.domains and not _domain_in(page_domain, self.domains):
+            return False
+        return True
+
+    def matches_url(self, url: str) -> bool:
+        return self.regex.search(url) is not None
+
+
+@dataclass(frozen=True)
+class ElementHideRule:
+    """An element-hiding (cosmetic) rule: ``domains##selector``."""
+
+    raw: str
+    selector: str
+    tag: str = ""
+    css_class: str = ""
+    element_id: str = ""
+    domains: FrozenSet[str] = frozenset()
+    excluded_domains: FrozenSet[str] = frozenset()
+
+    def applies_to(self, page_domain: str) -> bool:
+        if self.excluded_domains and _domain_in(page_domain, self.excluded_domains):
+            return False
+        if self.domains and not _domain_in(page_domain, self.domains):
+            return False
+        return True
+
+    def matches_element(
+        self, tag: str, classes: Tuple[str, ...], element_id: str
+    ) -> bool:
+        if self.tag and self.tag != tag:
+            return False
+        if self.css_class and self.css_class not in classes:
+            return False
+        if self.element_id and self.element_id != element_id:
+            return False
+        return bool(self.tag or self.css_class or self.element_id)
+
+
+def _domain_in(domain: str, candidates: FrozenSet[str]) -> bool:
+    """True if ``domain`` equals or is a subdomain of any candidate."""
+    for candidate in candidates:
+        if domain == candidate or domain.endswith("." + candidate):
+            return True
+    return False
+
+
+def _compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile an ABP URL pattern into a Python regex."""
+    regex_parts: List[str] = []
+    i = 0
+    if pattern.startswith("||"):
+        # domain anchor: scheme + optional subdomains, then the domain
+        regex_parts.append(r"^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?")
+        i = 2
+    elif pattern.startswith("|"):
+        regex_parts.append("^")
+        i = 1
+    end_anchor = False
+    if pattern.endswith("|") and len(pattern) > i:
+        end_anchor = True
+        pattern = pattern[:-1]
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "*":
+            regex_parts.append(".*")
+        elif ch == "^":
+            regex_parts.append(f"(?:{_SEPARATOR_CLASS}|$)")
+        else:
+            regex_parts.append(re.escape(ch))
+        i += 1
+    if end_anchor:
+        regex_parts.append("$")
+    return re.compile("".join(regex_parts))
+
+
+def _parse_domains(spec: str, sep: str) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    include, exclude = set(), set()
+    for token in filter(None, spec.split(sep)):
+        if token.startswith("~"):
+            exclude.add(token[1:].lower())
+        else:
+            include.add(token.lower())
+    return frozenset(include), frozenset(exclude)
+
+
+_KNOWN_TYPES = {"image", "script", "stylesheet", "subdocument", "xmlhttprequest"}
+
+
+def _parse_network_rule(line: str) -> NetworkRule:
+    is_exception = line.startswith("@@")
+    body = line[2:] if is_exception else line
+
+    options = ""
+    # the options separator is the last '$' not inside the pattern body;
+    # EasyList patterns never contain a literal '$', so rsplit is safe.
+    if "$" in body:
+        body, options = body.rsplit("$", 1)
+    if not body:
+        raise RuleParseError(f"empty pattern in rule {line!r}")
+
+    domains: FrozenSet[str] = frozenset()
+    excluded: FrozenSet[str] = frozenset()
+    third_party: Optional[bool] = None
+    resource_types = set()
+    for option in filter(None, options.split(",")):
+        if option.startswith("domain="):
+            domains, excluded = _parse_domains(option[len("domain="):], "|")
+        elif option == "third-party":
+            third_party = True
+        elif option == "~third-party":
+            third_party = False
+        elif option in _KNOWN_TYPES:
+            resource_types.add(option)
+        elif option.startswith("~") and option[1:] in _KNOWN_TYPES:
+            continue  # negated types: treat as unconstrained
+        else:
+            raise RuleParseError(f"unsupported option {option!r} in {line!r}")
+
+    return NetworkRule(
+        raw=line,
+        pattern=body,
+        is_exception=is_exception,
+        regex=_compile_pattern(body),
+        domains=domains,
+        excluded_domains=excluded,
+        third_party=third_party,
+        resource_types=frozenset(resource_types),
+    )
+
+
+_SELECTOR_RE = re.compile(
+    r"^(?P<tag>[a-zA-Z][a-zA-Z0-9]*)?"
+    r"(?:\.(?P<cls>[a-zA-Z0-9_-]+))?"
+    r"(?:\#(?P<id>[a-zA-Z0-9_-]+))?$"
+)
+
+
+def _parse_elemhide_rule(line: str) -> ElementHideRule:
+    domain_spec, selector = line.split("##", 1)
+    if not selector:
+        raise RuleParseError(f"empty selector in {line!r}")
+    match = _SELECTOR_RE.match(selector)
+    if not match:
+        raise RuleParseError(f"unsupported selector {selector!r}")
+    domains, excluded = _parse_domains(domain_spec, ",")
+    return ElementHideRule(
+        raw=line,
+        selector=selector,
+        tag=(match.group("tag") or "").lower(),
+        css_class=match.group("cls") or "",
+        element_id=match.group("id") or "",
+        domains=domains,
+        excluded_domains=excluded,
+    )
+
+
+def parse_rule(line: str):
+    """Parse one filter line into a rule object, or None for comments."""
+    line = line.strip()
+    if not line or line.startswith("!") or line.startswith("["):
+        return None
+    if "##" in line:
+        return _parse_elemhide_rule(line)
+    return _parse_network_rule(line)
+
+
+def parse_filter_list(
+    text: str, skip_errors: bool = False
+) -> Tuple[List[NetworkRule], List[ElementHideRule]]:
+    """Parse a filter-list document into network and element-hide rules."""
+    network: List[NetworkRule] = []
+    hiding: List[ElementHideRule] = []
+    for line in text.splitlines():
+        try:
+            rule = parse_rule(line)
+        except RuleParseError:
+            if skip_errors:
+                continue
+            raise
+        if rule is None:
+            continue
+        if isinstance(rule, NetworkRule):
+            network.append(rule)
+        else:
+            hiding.append(rule)
+    return network, hiding

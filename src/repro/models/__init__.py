@@ -1,0 +1,32 @@
+"""Model zoo: SqueezeNet and the PERCIVAL compressed fork.
+
+The paper starts from SqueezeNet (Iandola et al. 2016) and prunes it to a
+sub-2 MB ad/non-ad classifier: one stem convolution, six Fire modules, a
+final 1x1 classifier convolution, global average pooling, and softmax —
+with max-pooling after the stem and after every two Fire modules to
+down-sample early and cut per-image classification time (Figure 3).
+"""
+
+from repro.models.squeezenet import SqueezeNet, build_squeezenet
+from repro.models.percivalnet import PercivalNet, build_percival_net
+from repro.models.zoo import (
+    ModelInfo,
+    describe_model,
+    model_size_bytes,
+    model_size_mb,
+    pretrain_stem,
+    transfer_stem_weights,
+)
+
+__all__ = [
+    "SqueezeNet",
+    "build_squeezenet",
+    "PercivalNet",
+    "build_percival_net",
+    "ModelInfo",
+    "describe_model",
+    "model_size_bytes",
+    "model_size_mb",
+    "pretrain_stem",
+    "transfer_stem_weights",
+]

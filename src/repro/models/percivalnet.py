@@ -1,0 +1,154 @@
+"""PERCIVAL's compressed SqueezeNet fork (Figure 3, right column).
+
+Differences from stock SqueezeNet, as described in the paper:
+
+* only **six** Fire modules instead of eight (extraneous blocks removed),
+* feature maps are **down-sampled at regular intervals**: max-pooling
+  after the stem convolution and after *every two* Fire modules,
+* the classifier head is a 1x1 convolution to 2 classes (ad / not-ad)
+  followed by global average pooling and softmax,
+* default input is 224x224x4 (the decoded bitmap is RGBA in Blink).
+
+The resulting parameter count is ~337k (~1.3 MB in float32), matching
+the paper's "< 2 MB" claim, versus ~1.2M+ for full SqueezeNet-1000.
+Global average pooling makes the network input-size agnostic, which the
+reduced-scale experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn import (
+    Conv2d,
+    FireModule,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import spawn_rng
+
+#: (squeeze_channels, expand_channels) for the six retained fire modules.
+PERCIVAL_FIRES: List[Tuple[int, int]] = [
+    (16, 128), (16, 128),
+    (32, 256), (32, 256),
+    (48, 384), (48, 384),
+]
+
+#: Number of classes: ad vs non-ad.
+NUM_CLASSES = 2
+
+#: Label conventions used throughout the repo.
+LABEL_NONAD = 0
+LABEL_AD = 1
+
+
+class PercivalNet(Sequential):
+    """The paper's in-browser ad/non-ad classifier.
+
+    Layer indices of the stem conv and each fire module are recorded in
+    ``feature_indices`` so Grad-CAM can capture intermediate activations
+    ("Layer 5" / "Layer 9" in Figure 4 refer to positions in this list).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 4,
+        seed: int = 0,
+        stem_stride: int = 2,
+        width: float = 1.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width multiplier must be positive")
+        rng = spawn_rng(seed, "percivalnet")
+        layers, feature_indices = _build_layers(
+            in_channels, rng, stem_stride, width
+        )
+        super().__init__(layers, name="percival_net")
+        self.in_channels = in_channels
+        self.num_classes = NUM_CLASSES
+        self.width = width
+        #: indices (into ``self.layers``) of feature-producing blocks.
+        self.feature_indices = feature_indices
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls, seed: int = 0) -> "PercivalNet":
+        """Full-size network exactly as in Figure 3 (224x224x4 input)."""
+        return cls(in_channels=4, seed=seed, stem_stride=2, width=1.0)
+
+    @classmethod
+    def small(cls, seed: int = 0, width: float = 0.25) -> "PercivalNet":
+        """Reduced-width variant for the laptop-scale experiments.
+
+        Same depth, same pooling schedule, same head; only the channel
+        counts shrink.  Stride-1 stem keeps small inputs (32-64 px)
+        spatially viable through the four pools.
+        """
+        return cls(in_channels=4, seed=seed, stem_stride=1, width=width)
+
+
+def _scale(channels: int, width: float) -> int:
+    """Scale a channel count, keeping it even (expand halves must split)."""
+    scaled = max(int(round(channels * width)), 2)
+    return scaled + (scaled % 2)
+
+
+def _build_layers(
+    in_channels: int,
+    rng: np.random.Generator,
+    stem_stride: int,
+    width: float,
+) -> Tuple[List[Layer], List[int]]:
+    stem_channels = _scale(64, width)
+    layers: List[Layer] = [
+        Conv2d(in_channels, stem_channels, kernel_size=3,
+               stride=stem_stride, padding=1, rng=rng, name="conv1"),
+        ReLU(),
+        MaxPool2d(kernel_size=2, stride=2),
+    ]
+    feature_indices = [0]
+    channels = stem_channels
+    for index, (squeeze, expand) in enumerate(PERCIVAL_FIRES):
+        squeeze_c = max(int(round(squeeze * width)), 2)
+        expand_c = _scale(expand, width)
+        layers.append(
+            FireModule(channels, squeeze_c, expand_c, rng=rng,
+                       name=f"fire{index + 1}")
+        )
+        feature_indices.append(len(layers) - 1)
+        channels = expand_c
+        if index % 2 == 1:  # pool after every two fire modules
+            layers.append(MaxPool2d(kernel_size=2, stride=2))
+    layers.extend([
+        Conv2d(channels, NUM_CLASSES, kernel_size=1, rng=rng,
+               name="conv_final"),
+        GlobalAvgPool2d(),
+    ])
+    return layers, feature_indices
+
+
+def build_percival_net(
+    input_size: int = 224,
+    in_channels: int = 4,
+    seed: int = 0,
+    width: float = 1.0,
+) -> PercivalNet:
+    """Build a PercivalNet sized for ``input_size`` inputs.
+
+    Inputs of 96 px and above use the paper's stride-2 stem; smaller
+    synthetic inputs use stride 1 (see :meth:`PercivalNet.small`).
+    """
+    stem_stride = 2 if input_size >= 96 else 1
+    return PercivalNet(
+        in_channels=in_channels,
+        seed=seed,
+        stem_stride=stem_stride,
+        width=width,
+    )

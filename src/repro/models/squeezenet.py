@@ -1,0 +1,112 @@
+"""Original SqueezeNet architecture (v1.0 / v1.1).
+
+Serves two roles in the reproduction:
+
+* the baseline the paper prunes (Figure 3, left column), for the model
+  size / latency comparison, and
+* the source of "ImageNet-pretrained" stem weights used to initialize
+  the PERCIVAL fork (§4.3) — here pretrained on a synthetic proxy task,
+  see :func:`repro.models.zoo.pretrain_stem`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import (
+    Conv2d,
+    Dropout,
+    FireModule,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import spawn_rng
+
+#: (squeeze_channels, expand_channels) per fire module, SqueezeNet v1.1.
+_V11_FIRES = [
+    (16, 128), (16, 128),
+    (32, 256), (32, 256),
+    (48, 384), (48, 384), (64, 512), (64, 512),
+]
+
+
+class SqueezeNet(Sequential):
+    """SqueezeNet v1.1 classifier head over ``num_classes`` outputs."""
+
+    def __init__(
+        self,
+        num_classes: int = 1000,
+        in_channels: int = 3,
+        seed: int = 0,
+        stem_stride: int = 2,
+        dropout: float = 0.5,
+    ) -> None:
+        rng = spawn_rng(seed, "squeezenet")
+        layers = _build_v11_layers(
+            num_classes, in_channels, rng, stem_stride, dropout
+        )
+        super().__init__(layers, name="squeezenet_v1.1")
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+
+
+def _build_v11_layers(
+    num_classes: int,
+    in_channels: int,
+    rng: np.random.Generator,
+    stem_stride: int,
+    dropout: float,
+) -> List[Layer]:
+    """v1.1 layer stack: 3x3 stem, pools after stem/fire2/fire4."""
+    layers: List[Layer] = [
+        Conv2d(in_channels, 64, kernel_size=3, stride=stem_stride,
+               padding=1, rng=rng, name="conv1"),
+        ReLU(),
+        MaxPool2d(kernel_size=3, stride=2),
+    ]
+    channels = 64
+    for index, (squeeze, expand) in enumerate(_V11_FIRES):
+        layers.append(
+            FireModule(channels, squeeze, expand, rng=rng,
+                       name=f"fire{index + 2}")
+        )
+        channels = expand
+        # v1.1 pools after fire3 (idx 1) and fire5 (idx 3).
+        if index in (1, 3):
+            layers.append(MaxPool2d(kernel_size=3, stride=2))
+    layers.extend([
+        Dropout(dropout, seed=int(rng.integers(2**31))),
+        Conv2d(channels, num_classes, kernel_size=1, rng=rng,
+               name="conv10"),
+        ReLU(),
+        GlobalAvgPool2d(),
+    ])
+    return layers
+
+
+def build_squeezenet(
+    num_classes: int = 1000,
+    in_channels: int = 3,
+    seed: int = 0,
+    stem_stride: Optional[int] = None,
+    input_size: int = 224,
+) -> SqueezeNet:
+    """Build SqueezeNet, choosing the stem stride from the input size.
+
+    Full-resolution inputs (>= 96 px) use the paper-standard stride-2
+    stem; small synthetic inputs keep stride 1 so enough spatial extent
+    survives the pooling stack.
+    """
+    if stem_stride is None:
+        stem_stride = 2 if input_size >= 96 else 1
+    return SqueezeNet(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        seed=seed,
+        stem_stride=stem_stride,
+    )

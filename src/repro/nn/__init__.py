@@ -1,0 +1,65 @@
+"""A from-scratch numpy deep-learning framework.
+
+The paper trains and ships a compressed SqueezeNet fork; no deep-learning
+runtime is available offline, so this package implements the required
+operator set directly on numpy:
+
+* convolution (im2col + GEMM, full backward pass),
+* max / global-average pooling,
+* ReLU, dropout, channel concatenation (for Fire modules),
+* softmax cross-entropy,
+* SGD with momentum and step learning-rate decay (the paper's §4.3 recipe),
+* weight initialization, ``.npz`` serialization, and a training loop.
+
+Layout convention is NCHW throughout. Every layer implements
+``forward``/``backward`` explicitly (no taped autograd) which keeps the
+framework small, auditable, and straightforward to gradient-check.
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.layers import (
+    Layer,
+    Conv2d,
+    MaxPool2d,
+    GlobalAvgPool2d,
+    AvgPool2d,
+    ReLU,
+    Dropout,
+    Flatten,
+    Linear,
+    Identity,
+)
+from repro.nn.fire import FireModule
+from repro.nn.network import Sequential
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+from repro.nn.optim import SGD, StepLR
+from repro.nn.serialization import save_weights, load_weights
+from repro.nn.trainer import Trainer, TrainConfig, TrainReport
+from repro.nn.gradcheck import numerical_gradient, check_layer_gradients
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Conv2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "Identity",
+    "FireModule",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "softmax",
+    "SGD",
+    "StepLR",
+    "save_weights",
+    "load_weights",
+    "Trainer",
+    "TrainConfig",
+    "TrainReport",
+    "numerical_gradient",
+    "check_layer_gradients",
+]

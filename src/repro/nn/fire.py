@@ -1,0 +1,82 @@
+"""SqueezeNet Fire module.
+
+A Fire module (Iandola et al., 2016) is a squeeze layer (1x1 conv that
+cuts the channel count) followed by two parallel expand convolutions
+(1x1 and 3x3) whose outputs are concatenated along the channel axis.
+The squeeze step is what makes the network small: the expensive 3x3
+filters only ever see the reduced channel count.
+
+The module is itself a :class:`~repro.nn.layers.Layer`, composing its
+internal convolutions explicitly — this keeps the overall network a flat
+``Sequential`` without needing general DAG autograd.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Layer, ReLU
+from repro.nn.tensor import Parameter
+
+
+class FireModule(Layer):
+    """squeeze(1x1) -> ReLU -> [expand1x1 || expand3x3] -> ReLU -> concat."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze_channels: int,
+        expand_channels: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "fire",
+    ) -> None:
+        if expand_channels % 2:
+            raise ValueError(
+                "expand_channels must be even (split across 1x1 and 3x3)"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        half = expand_channels // 2
+        self.squeeze = Conv2d(
+            in_channels, squeeze_channels, kernel_size=1,
+            rng=rng, name=f"{name}.squeeze",
+        )
+        self.squeeze_relu = ReLU()
+        self.expand1x1 = Conv2d(
+            squeeze_channels, half, kernel_size=1,
+            rng=rng, name=f"{name}.expand1x1",
+        )
+        self.expand3x3 = Conv2d(
+            squeeze_channels, half, kernel_size=3, padding=1,
+            rng=rng, name=f"{name}.expand3x3",
+        )
+        self.expand_relu = ReLU()
+        self.in_channels = in_channels
+        self.squeeze_channels = squeeze_channels
+        self.expand_channels = expand_channels
+        self._half = half
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = self.squeeze_relu(self.squeeze(x))
+        left = self.expand1x1(squeezed)
+        right = self.expand3x3(squeezed)
+        return self.expand_relu(
+            np.concatenate([left, right], axis=1)
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_cat = self.expand_relu.backward(grad_out)
+        grad_left = grad_cat[:, : self._half]
+        grad_right = grad_cat[:, self._half:]
+        grad_squeezed = self.expand1x1.backward(grad_left)
+        grad_squeezed = grad_squeezed + self.expand3x3.backward(grad_right)
+        grad_squeezed = self.squeeze_relu.backward(grad_squeezed)
+        return self.squeeze.backward(grad_squeezed)
+
+    def parameters(self) -> List[Parameter]:
+        return (
+            self.squeeze.parameters()
+            + self.expand1x1.parameters()
+            + self.expand3x3.parameters()
+        )

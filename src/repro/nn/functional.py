@@ -1,0 +1,233 @@
+"""Low-level numeric kernels: im2col convolution and windowed pooling.
+
+Convolution is implemented as im2col + GEMM, the standard CPU strategy.
+``im2col`` unrolls every receptive field into a row, turning convolution
+into one large matrix multiply that BLAS executes efficiently; ``col2im``
+scatters gradients back, summing where receptive fields overlap.
+
+All kernels take and return NCHW arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output extent of a convolution/pooling along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Unroll receptive fields of an NCHW batch into a 2-D matrix.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+    where each row is one flattened receptive field.
+    """
+    batch, channels, height, width = images.shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    if pad > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+            mode="constant",
+        )
+
+    cols = np.empty(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w),
+        dtype=images.dtype,
+    )
+    for ky in range(kernel_h):
+        y_end = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = images[
+                :, :, ky:y_end:stride, kx:x_end:stride
+            ]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, -1
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` for gradient scattering.
+
+    Overlapping receptive fields accumulate (sum) into the same input
+    location, which is exactly the convolution input-gradient semantics.
+    """
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    cols = cols.reshape(
+        batch, out_h, out_w, channels, kernel_h, kernel_w
+    ).transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad),
+        dtype=cols.dtype,
+    )
+    for ky in range(kernel_h):
+        y_end = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[
+                :, :, ky, kx, :, :
+            ]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d_forward(
+    images: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    stride: int,
+    pad: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convolution forward pass.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.  Returns
+    the output and the im2col matrix (cached for the backward pass).
+    """
+    batch = images.shape[0]
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    out_h = conv_output_size(images.shape[2], kernel_h, stride, pad)
+    out_w = conv_output_size(images.shape[3], kernel_w, stride, pad)
+
+    cols = im2col(images, kernel_h, kernel_w, stride, pad)
+    flat_weight = weight.reshape(out_channels, -1)
+    out = cols @ flat_weight.T + bias
+    out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    stride: int,
+    pad: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convolution backward pass.
+
+    Returns ``(grad_input, grad_weight, grad_bias)`` given the upstream
+    gradient in NCHW layout and the cached im2col matrix.
+    """
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+
+    grad_weight = (grad_flat.T @ cols).reshape(weight.shape)
+    grad_bias = grad_flat.sum(axis=0)
+
+    grad_cols = grad_flat @ weight.reshape(out_channels, -1)
+    grad_input = col2im(
+        grad_cols, input_shape, kernel_h, kernel_w, stride, pad
+    )
+    return grad_input, grad_weight, grad_bias
+
+
+def maxpool2d_forward(
+    images: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling forward; returns output and argmax indices for backward.
+
+    Implemented via im2col over each channel independently (channels are
+    folded into the batch axis), which handles overlapping windows such as
+    SqueezeNet's 3x3/stride-2 pools.
+    """
+    batch, channels, height, width = images.shape
+    folded = images.reshape(batch * channels, 1, height, width)
+    cols = im2col(folded, kernel, kernel, stride, pad=0)
+    argmax = cols.argmax(axis=1)
+    out_vals = cols[np.arange(cols.shape[0]), argmax]
+
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    out = out_vals.reshape(batch, channels, out_h, out_w)
+    return out, argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Max pooling backward: route gradients to the argmax positions."""
+    batch, channels, height, width = input_shape
+    rows = argmax.shape[0]
+    grad_cols = np.zeros((rows, kernel * kernel), dtype=grad_out.dtype)
+    grad_cols[np.arange(rows), argmax] = grad_out.reshape(-1)
+    grad_folded = col2im(
+        grad_cols,
+        (batch * channels, 1, height, width),
+        kernel,
+        kernel,
+        stride,
+        pad=0,
+    )
+    return grad_folded.reshape(batch, channels, height, width)
+
+
+def avgpool2d_forward(
+    images: np.ndarray, kernel: int, stride: int
+) -> np.ndarray:
+    """Average pooling forward pass (no cache needed for backward)."""
+    batch, channels, height, width = images.shape
+    folded = images.reshape(batch * channels, 1, height, width)
+    cols = im2col(folded, kernel, kernel, stride, pad=0)
+    out_vals = cols.mean(axis=1)
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    return out_vals.reshape(batch, channels, out_h, out_w)
+
+
+def avgpool2d_backward(
+    grad_out: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Average pooling backward: spread gradient uniformly over windows."""
+    batch, channels, height, width = input_shape
+    window = kernel * kernel
+    grad_flat = grad_out.reshape(-1, 1) / window
+    grad_cols = np.broadcast_to(
+        grad_flat, (grad_flat.shape[0], window)
+    ).copy()
+    grad_folded = col2im(
+        grad_cols,
+        (batch * channels, 1, height, width),
+        kernel,
+        kernel,
+        stride,
+        pad=0,
+    )
+    return grad_folded.reshape(batch, channels, height, width)

@@ -1,0 +1,287 @@
+"""Neural network layers with explicit forward/backward passes.
+
+Every layer caches what its backward pass needs during forward, so the
+call protocol is strictly ``forward`` then ``backward`` (the trainer and
+gradient checker both follow it).  Layers expose their trainable state
+through ``parameters()``; stateless layers return an empty list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import kaiming_normal
+from repro.nn.tensor import Parameter
+
+
+class Layer:
+    """Base class: a differentiable transform with optional parameters."""
+
+    #: toggled by ``Sequential.train()`` / ``.eval()``; dropout keys on it.
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the model-size accounting (Figure 8 reports
+    # model size; the zoo sums parameter bytes through this hook).
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+
+class Conv2d(Layer):
+    """2-D convolution (NCHW), im2col + GEMM implementation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "conv",
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(
+            kaiming_normal(shape, rng, dtype), name=f"{name}.weight"
+        )
+        self.bias = Parameter(
+            np.zeros(out_channels, dtype=dtype), name=f"{name}.bias"
+        )
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {x.shape[1]}"
+            )
+        out, cols = F.conv2d_forward(
+            x, self.weight.data, self.bias.data, self.stride, self.padding
+        )
+        self._cache = (cols, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, input_shape = self._cache
+        grad_in, grad_w, grad_b = F.conv2d_backward(
+            grad_out, cols, self.weight.data, input_shape,
+            self.stride, self.padding,
+        )
+        self.weight.grad += grad_w
+        self.bias.grad += grad_b
+        return grad_in
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class MaxPool2d(Layer):
+    """Windowed max pooling, supporting overlapping windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        self._cache = (argmax, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, input_shape = self._cache
+        return F.maxpool2d_backward(
+            grad_out, argmax, input_shape, self.kernel_size, self.stride
+        )
+
+
+class AvgPool2d(Layer):
+    """Windowed average pooling."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return F.avgpool2d_forward(x, self.kernel_size, self.stride)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return F.avgpool2d_backward(
+            grad_out, self._input_shape, self.kernel_size, self.stride
+        )
+
+
+class GlobalAvgPool2d(Layer):
+    """Global average pooling: (N, C, H, W) -> (N, C).
+
+    This is what makes the PERCIVAL architecture input-size agnostic: the
+    final 1x1 classifier conv produces a class map of any spatial extent
+    and GAP reduces it to per-class scores.
+    """
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        _, _, height, width = self._input_shape
+        scale = 1.0 / (height * width)
+        return (
+            grad_out[:, :, None, None]
+            * np.ones(self._input_shape, dtype=grad_out.dtype)
+            * scale
+        )
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(x.dtype)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.random(x.shape) < keep
+        ).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    """(N, C, H, W) -> (N, C*H*W)."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._input_shape)
+
+
+class Linear(Layer):
+    """Fully-connected layer (used by small baseline models)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "linear",
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), rng, dtype),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(
+            np.zeros(out_features, dtype=dtype), name=f"{name}.bias"
+        )
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError("Linear expects (N, features) input")
+        self._input = x
+        return x @ self.weight.data.T + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad_out.T @ self._input
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Identity(Layer):
+    """No-op layer, handy as a placeholder in ablations."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

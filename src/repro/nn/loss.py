@@ -1,0 +1,56 @@
+"""Softmax and cross-entropy loss.
+
+The softmax and the cross-entropy are fused in the loss object: the
+combined backward pass is the numerically stable ``prob - onehot`` form,
+avoiding the unstable softmax Jacobian.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy over a batch of integer class labels."""
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Returns ``(loss, probabilities)``.
+
+        ``logits`` is (N, num_classes); ``labels`` is (N,) of ints.
+        """
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, num_classes)")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels and logits batch sizes differ")
+        probs = softmax(logits, axis=1)
+        batch = logits.shape[0]
+        picked = probs[np.arange(batch), labels]
+        loss = float(-np.log(picked + self.eps).mean())
+        self._probs = probs
+        self._labels = labels
+        return loss, probs
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._labels] -= 1.0
+        return grad / batch

@@ -1,0 +1,123 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.tensor import Parameter
+
+
+class Sequential(Layer):
+    """An ordered stack of layers executed front to back.
+
+    Besides forward/backward, the container supports:
+
+    * train/eval mode switching (propagated to all layers),
+    * parameter collection for optimizers and serialization,
+    * activation capture by layer index (used by Grad-CAM).
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str = "net") -> None:
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.name = name
+        self._capture_indices: set = set()
+        self._captured: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._captured.clear()
+        out = x
+        for index, layer in enumerate(self.layers):
+            out = layer.forward(out)
+            if index in self._capture_indices:
+                self._captured[index] = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def backward_from(self, grad_out: np.ndarray, index: int) -> np.ndarray:
+        """Backpropagate from the output down to layer ``index`` (inclusive
+        of layers after it), returning the gradient w.r.t. that layer's
+        output.  Grad-CAM uses this to get class-score gradients at an
+        intermediate feature map without touching earlier layers.
+        """
+        if not 0 <= index < len(self.layers):
+            raise IndexError(f"layer index {index} out of range")
+        grad = grad_out
+        for layer in reversed(self.layers[index + 1:]):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # Mode and parameters
+    # ------------------------------------------------------------------
+    def train(self) -> "Sequential":
+        for layer in self._all_layers():
+            layer.training = True
+        return self
+
+    def eval(self) -> "Sequential":
+        for layer in self._all_layers():
+            layer.training = False
+        return self
+
+    def _all_layers(self) -> Iterable[Layer]:
+        for layer in self.layers:
+            yield layer
+            # Fire modules and other composites expose sub-layers via
+            # attributes; flipping `training` on the composite is enough
+            # because composites consult their own flag, but dropout
+            # nested inside composites would need recursion. Composites
+            # in this codebase contain no dropout, so one level suffices;
+            # still, recurse into nested Sequentials for safety.
+            if isinstance(layer, Sequential):
+                yield from layer._all_layers()
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+    # Activation capture (Grad-CAM support)
+    # ------------------------------------------------------------------
+    def capture(self, indices: Iterable[int]) -> None:
+        """Record the outputs of the given layer indices on next forward."""
+        self._capture_indices = set(indices)
+
+    def captured(self, index: int) -> Optional[np.ndarray]:
+        return self._captured.get(index)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def summary(self) -> str:
+        """Human-readable architecture summary with parameter counts."""
+        lines = [f"Sequential({self.name})"]
+        total = 0
+        for index, layer in enumerate(self.layers):
+            count = layer.num_parameters()
+            total += count
+            lines.append(
+                f"  [{index:2d}] {type(layer).__name__:16s} params={count}"
+            )
+        lines.append(f"  total params={total}")
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Optimizers and learning-rate schedules.
+
+The paper's training recipe (§4.3): stochastic gradient descent with
+momentum beta = 0.9, learning rate 0.001, batch size 24, and step decay
+multiplying the rate by 0.1 every 30 epochs.  Both pieces are implemented
+here exactly as described.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum.
+
+    velocity = beta * velocity - lr * grad;  param += velocity
+    """
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.001,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.data += velocity
+
+
+class StepLR:
+    """Step learning-rate decay: lr *= gamma every ``step_epochs`` epochs."""
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        step_epochs: int = 30,
+        gamma: float = 0.1,
+    ) -> None:
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_epochs = step_epochs
+        self.gamma = gamma
+        self._epoch = 0
+        self.base_lr = optimizer.lr
+
+    def epoch_end(self) -> float:
+        """Advance one epoch; returns the (possibly decayed) current lr."""
+        self._epoch += 1
+        decays = self._epoch // self.step_epochs
+        self.optimizer.lr = self.base_lr * (self.gamma ** decays)
+        return self.optimizer.lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

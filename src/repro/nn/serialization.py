@@ -1,0 +1,66 @@
+"""Weight serialization.
+
+Models are saved as compressed ``.npz`` archives keyed by parameter name
+order.  The on-disk size of the uncompressed float32 payload is what the
+paper reports as "model size" (1.9 MB for the PERCIVAL fork), so the zoo
+also exposes raw-byte accounting; this module just moves weights.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+def save_weights(network: Sequential, path: str) -> int:
+    """Serialize all parameters of ``network`` to ``path`` (npz).
+
+    Returns the number of parameters written.  Parameter order is the
+    network's own ``parameters()`` order, which is deterministic for a
+    given architecture, so ``load_weights`` can restore positionally.
+    """
+    params = network.parameters()
+    arrays = {f"p{i:04d}": p.data for i, p in enumerate(params)}
+    names = np.array([p.name for p in params])
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, __names__=names, **arrays)
+    return len(params)
+
+
+def load_weights(network: Sequential, path: str, strict: bool = True) -> int:
+    """Load weights saved by :func:`save_weights` into ``network``.
+
+    With ``strict=True`` (default) every parameter must match in count and
+    shape.  With ``strict=False``, shape-compatible prefix parameters are
+    loaded and the rest left untouched — this is the transfer-learning
+    path the paper uses (§4.3: initialize conv1 + the first fire blocks
+    from an ImageNet-pretrained SqueezeNet, train the rest fresh).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        keys = sorted(k for k in archive.files if k.startswith("p"))
+        stored: List[np.ndarray] = [archive[k] for k in keys]
+
+    params = network.parameters()
+    if strict and len(stored) != len(params):
+        raise ValueError(
+            f"parameter count mismatch: file has {len(stored)}, "
+            f"network has {len(params)}"
+        )
+
+    loaded = 0
+    for param, array in zip(params, stored):
+        if param.data.shape != array.shape:
+            if strict:
+                raise ValueError(
+                    f"shape mismatch for {param.name}: "
+                    f"{param.data.shape} vs {array.shape}"
+                )
+            continue
+        param.data[...] = array
+        loaded += 1
+    return loaded

@@ -1,0 +1,39 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable array with an accumulated gradient.
+
+    The framework has no autograd tape; layers write ``grad`` during their
+    explicit backward pass and optimizers consume it.  ``grad`` is reset by
+    the optimizer's ``zero_grad``.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size in bytes (raw array payload)."""
+        return int(self.data.nbytes)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

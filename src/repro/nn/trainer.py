@@ -1,0 +1,167 @@
+"""Training loop.
+
+Implements the paper's §4.3 recipe by default: SGD with momentum 0.9,
+learning rate 0.001, batch size 24, step LR decay (x0.1 / 30 epochs).
+The loop is deliberately plain — shuffle, batch, forward, loss, backward,
+step — with per-epoch metrics recorded for the crawl-phase experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, StepLR
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters; defaults follow the paper (§4.3)."""
+
+    lr: float = 0.001
+    momentum: float = 0.9
+    batch_size: int = 24
+    epochs: int = 10
+    lr_step_epochs: int = 30
+    lr_gamma: float = 0.1
+    weight_decay: float = 0.0
+    seed: int = 0
+    shuffle: bool = True
+    verbose: bool = False
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    loss: float
+    train_accuracy: float
+    val_accuracy: Optional[float]
+    lr: float
+
+
+@dataclass
+class TrainReport:
+    """Outcome of a training run."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].loss if self.epochs else float("nan")
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.epochs[-1].train_accuracy if self.epochs else float("nan")
+
+    @property
+    def final_val_accuracy(self) -> Optional[float]:
+        return self.epochs[-1].val_accuracy if self.epochs else None
+
+
+class Trainer:
+    """Mini-batch trainer for a :class:`Sequential` classifier."""
+
+    def __init__(self, network: Sequential, config: TrainConfig) -> None:
+        self.network = network
+        self.config = config
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.optimizer = SGD(
+            network.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self.scheduler = StepLR(
+            self.optimizer,
+            step_epochs=config.lr_step_epochs,
+            gamma=config.lr_gamma,
+        )
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        val_images: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> TrainReport:
+        """Train on ``images``/``labels`` (NCHW / int class ids)."""
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images and labels disagree on batch size")
+        if images.ndim != 4:
+            raise ValueError("expected NCHW images")
+
+        rng = spawn_rng(self.config.seed, "trainer")
+        report = TrainReport()
+        count = images.shape[0]
+
+        for epoch in range(self.config.epochs):
+            self.network.train()
+            order = np.arange(count)
+            if self.config.shuffle:
+                rng.shuffle(order)
+
+            epoch_loss = 0.0
+            correct = 0
+            batches = 0
+            for start in range(0, count, self.config.batch_size):
+                idx = order[start:start + self.config.batch_size]
+                batch_x = images[idx]
+                batch_y = labels[idx]
+
+                logits = self.network.forward(batch_x)
+                loss, probs = self.loss_fn.forward(logits, batch_y)
+                self.optimizer.zero_grad()
+                self.network.backward(self.loss_fn.backward())
+                self.optimizer.step()
+
+                epoch_loss += loss
+                correct += int((probs.argmax(axis=1) == batch_y).sum())
+                batches += 1
+
+            val_acc = None
+            if val_images is not None and val_labels is not None:
+                val_acc = self.evaluate(val_images, val_labels)
+
+            stats = EpochStats(
+                epoch=epoch,
+                loss=epoch_loss / max(batches, 1),
+                train_accuracy=correct / max(count, 1),
+                val_accuracy=val_acc,
+                lr=self.scheduler.current_lr,
+            )
+            report.epochs.append(stats)
+            self.scheduler.epoch_end()
+            if self.config.verbose:
+                print(
+                    f"epoch {epoch}: loss={stats.loss:.4f} "
+                    f"train_acc={stats.train_accuracy:.3f} "
+                    f"val_acc={val_acc}"
+                )
+        self.network.eval()
+        return report
+
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+    ) -> float:
+        """Accuracy of the network on a labelled set (eval mode)."""
+        predictions = self.predict(images, batch_size)
+        return float((predictions == labels).mean())
+
+    def predict(
+        self, images: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Class predictions, batched to bound memory."""
+        self.network.eval()
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            logits = self.network.forward(images[start:start + batch_size])
+            outputs.append(logits.argmax(axis=1))
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=int)

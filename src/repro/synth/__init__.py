@@ -1,0 +1,57 @@
+"""Procedural data substrate.
+
+The paper's experiments consume crawled web data: ad creatives, page
+content, Facebook feeds, image-search results, and non-English ad
+corpora.  None of that exists offline, so this package synthesizes each
+distribution procedurally, with the *perceptual* structure the paper's
+model keys on (Grad-CAM in Figure 4 highlights ad-choice markers, text
+texture, and product outlines):
+
+* :mod:`repro.synth.drawing` — vectorized raster primitives,
+* :mod:`repro.synth.adgen` — ad creatives (AdChoices-style marker, CTA
+  buttons, price flashes, borders, brand palettes),
+* :mod:`repro.synth.contentgen` — non-ad content (photos, charts,
+  avatars, screenshots, logos),
+* :mod:`repro.synth.languages` — per-script glyph statistics so
+  non-English corpora shift from the training distribution by a
+  controlled amount,
+* :mod:`repro.synth.webgen` — a synthetic web (sites, pages, ad slots,
+  ad-network URLs, CSS classes) for the filter-list and crawler
+  experiments,
+* :mod:`repro.synth.facebook` — first-party feed: right-column ads,
+  sponsored-in-feed posts, organic and brand-page content,
+* :mod:`repro.synth.search` — query-conditioned image-search results,
+* :mod:`repro.synth.external` — an out-of-distribution labelled ad
+  dataset standing in for Hussain et al. (CVPR'17).
+
+All generators are seeded and deterministic.
+"""
+
+from repro.synth.adgen import AdSpec, generate_ad, random_ad_spec
+from repro.synth.contentgen import ContentKind, generate_content
+from repro.synth.languages import Language, LANGUAGE_SHIFT
+from repro.synth.webgen import SyntheticWeb, WebConfig, Page, PageElement
+from repro.synth.facebook import FacebookFeed, FeedConfig, FeedItem
+from repro.synth.search import ImageSearch, QUERY_AD_INTENT
+from repro.synth.external import ExternalDataset, ExternalConfig
+
+__all__ = [
+    "AdSpec",
+    "generate_ad",
+    "random_ad_spec",
+    "ContentKind",
+    "generate_content",
+    "Language",
+    "LANGUAGE_SHIFT",
+    "SyntheticWeb",
+    "WebConfig",
+    "Page",
+    "PageElement",
+    "FacebookFeed",
+    "FeedConfig",
+    "FeedItem",
+    "ImageSearch",
+    "QUERY_AD_INTENT",
+    "ExternalDataset",
+    "ExternalConfig",
+]

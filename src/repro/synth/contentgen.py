@@ -1,0 +1,247 @@
+"""Non-ad content image generator.
+
+Pages are dominated by non-ad imagery: photographs, article figures,
+charts, avatars, UI screenshots and site logos.  These share *some*
+features with ads (text appears in screenshots and charts; products
+appear in editorial photos) but lack the ad cue combination — which is
+exactly why a learned perceptual classifier beats template matching.
+
+``ad_intent`` in [0, 1] lets a non-ad image carry increasingly ad-like
+properties (commercial product shots from brand pages were the paper's
+main Facebook false-positive source, Figure 11a).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.synth import drawing
+from repro.synth.languages import Language, glyph_kwargs
+
+
+class ContentKind(enum.Enum):
+    """Non-ad content categories with distinct visual statistics."""
+
+    PHOTO = "photo"
+    CHART = "chart"
+    AVATAR = "avatar"
+    SCREENSHOT = "screenshot"
+    LOGO = "logo"
+    PRODUCT_SHOT = "product_shot"  # commercial but organic (brand pages)
+    WIDGET = "widget"              # signup forms / CTAs — ad-like UI
+
+
+_KIND_WEIGHTS = {
+    ContentKind.PHOTO: 0.38,
+    ContentKind.CHART: 0.11,
+    ContentKind.AVATAR: 0.13,
+    ContentKind.SCREENSHOT: 0.11,
+    ContentKind.LOGO: 0.11,
+    ContentKind.PRODUCT_SHOT: 0.08,
+    ContentKind.WIDGET: 0.08,
+}
+
+#: Typical content image extents (before the render cap).
+_SIZE_RANGES = {
+    ContentKind.PHOTO: ((200, 800), (150, 600)),
+    ContentKind.CHART: ((300, 640), (200, 480)),
+    ContentKind.AVATAR: ((48, 160), (48, 160)),
+    ContentKind.SCREENSHOT: ((320, 800), (200, 600)),
+    ContentKind.LOGO: ((64, 240), (32, 120)),
+    ContentKind.PRODUCT_SHOT: ((200, 600), (200, 600)),
+    ContentKind.WIDGET: ((250, 500), (100, 300)),
+}
+
+MAX_RENDER_DIM = 72
+
+
+def sample_kind(rng: np.random.Generator) -> ContentKind:
+    kinds = list(_KIND_WEIGHTS)
+    weights = np.array([_KIND_WEIGHTS[k] for k in kinds])
+    return kinds[int(rng.choice(len(kinds), p=weights / weights.sum()))]
+
+
+def generate_content(
+    rng: np.random.Generator,
+    kind: Optional[ContentKind] = None,
+    language: Language = Language.ENGLISH,
+    ad_intent: float = 0.0,
+) -> np.ndarray:
+    """Render a non-ad content image as an RGBA float bitmap."""
+    if kind is None:
+        kind = sample_kind(rng)
+    height, width = _render_size(rng, kind)
+
+    if kind is ContentKind.PHOTO:
+        img = _photo(rng, height, width)
+    elif kind is ContentKind.CHART:
+        img = _chart(rng, height, width, language)
+    elif kind is ContentKind.AVATAR:
+        img = _avatar(rng, height, width)
+    elif kind is ContentKind.SCREENSHOT:
+        img = _screenshot(rng, height, width, language)
+    elif kind is ContentKind.LOGO:
+        img = _logo(rng, height, width)
+    elif kind is ContentKind.PRODUCT_SHOT:
+        img = _product_shot(rng, height, width, language)
+    elif kind is ContentKind.WIDGET:
+        img = _widget(rng, height, width, language)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown content kind {kind!r}")
+
+    if ad_intent > 0:
+        _blend_ad_intent(img, rng, ad_intent)
+    return img
+
+
+def _render_size(
+    rng: np.random.Generator, kind: ContentKind
+) -> Tuple[int, int]:
+    (w_lo, w_hi), (h_lo, h_hi) = _SIZE_RANGES[kind]
+    w = int(rng.integers(w_lo, w_hi + 1))
+    h = int(rng.integers(h_lo, h_hi + 1))
+    scale = min(1.0, MAX_RENDER_DIM / max(w, h))
+    return max(int(h * scale), 8), max(int(w * scale), 8)
+
+
+def _photo(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    palettes = [
+        ((0.25, 0.45, 0.25), (0.65, 0.80, 0.95)),  # landscape
+        ((0.55, 0.40, 0.30), (0.90, 0.80, 0.70)),  # portrait/indoor
+        ((0.15, 0.25, 0.45), (0.60, 0.70, 0.85)),  # urban/dusk
+    ]
+    palette = palettes[int(rng.integers(len(palettes)))]
+    img = drawing.smooth_blobs(height, width, rng,
+                               scale=rng.uniform(3.0, 7.0), palette=palette)
+    # a few mid-frequency details (horizon, subjects)
+    for _ in range(int(rng.integers(1, 4))):
+        shade = rng.uniform(0.1, 0.9)
+        drawing.draw_circle(
+            img,
+            int(rng.uniform(0.1, 0.9) * width),
+            int(rng.uniform(0.3, 0.9) * height),
+            max(2, int(min(height, width) * rng.uniform(0.05, 0.15))),
+            (shade, shade * 0.9, shade * 0.8),
+            alpha=0.6,
+        )
+    drawing.add_noise(img, rng, sigma=0.02)
+    return img
+
+
+def _chart(
+    rng: np.random.Generator, height: int, width: int, language: Language
+) -> np.ndarray:
+    img = drawing.blank(height, width, (0.98, 0.98, 0.98))
+    # axes
+    drawing.fill_rect(img, 3, height - 4, width - 6, 1, (0.2, 0.2, 0.2))
+    drawing.fill_rect(img, 3, 3, 1, height - 6, (0.2, 0.2, 0.2))
+    bars = int(rng.integers(4, 9))
+    bar_w = max((width - 10) // bars - 1, 1)
+    color = (0.2, 0.45, 0.75) if rng.random() < 0.7 else (0.8, 0.45, 0.2)
+    for i in range(bars):
+        bar_h = int((height - 8) * rng.uniform(0.2, 1.0))
+        drawing.fill_rect(img, 5 + i * (bar_w + 1), height - 4 - bar_h,
+                          bar_w, bar_h, color)
+    drawing.glyph_row(img, 4, 1, width // 2, 2, rng, (0.3, 0.3, 0.3),
+                      **glyph_kwargs(language))
+    return img
+
+
+def _avatar(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    skin = (rng.uniform(0.55, 0.95), rng.uniform(0.45, 0.8),
+            rng.uniform(0.35, 0.7))
+    bg = (rng.uniform(0.6, 0.95),) * 3
+    img = drawing.blank(height, width, bg)
+    cx, cy = width // 2, height // 2
+    drawing.draw_circle(img, cx, int(cy * 0.8), min(height, width) // 4, skin)
+    drawing.fill_rect(img, cx - width // 4, int(cy * 1.2), width // 2,
+                      height // 3, (0.3, 0.35, 0.5))
+    drawing.add_noise(img, rng, sigma=0.015)
+    return img
+
+
+def _screenshot(
+    rng: np.random.Generator, height: int, width: int, language: Language
+) -> np.ndarray:
+    img = drawing.blank(height, width, (0.96, 0.96, 0.97))
+    # window chrome
+    drawing.fill_rect(img, 0, 0, width, max(3, height // 12),
+                      (0.85, 0.86, 0.9))
+    for i in range(3):
+        drawing.draw_circle(img, 3 + i * 4, max(1, height // 24), 1,
+                            (0.9, 0.4, 0.3))
+    drawing.text_block(img, 3, height // 6, width - 6,
+                       lines=int(rng.integers(3, 7)), rng=rng,
+                       glyph_height=2, **glyph_kwargs(language))
+    drawing.draw_border(img, 1, (0.7, 0.7, 0.7))
+    return img
+
+
+def _logo(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    bg = (1.0, 1.0, 1.0) if rng.random() < 0.7 else (0.1, 0.1, 0.15)
+    fg = (rng.uniform(0, 0.6), rng.uniform(0, 0.6), rng.uniform(0.2, 0.9))
+    img = drawing.blank(height, width, bg)
+    drawing.draw_circle(img, height // 2, height // 2,
+                        max(2, height // 3), fg)
+    drawing.glyph_row(img, height + 2, height // 3,
+                      max(width - height - 4, 4),
+                      max(height // 3, 2), rng, fg)
+    return img
+
+
+def _product_shot(
+    rng: np.random.Generator, height: int, width: int, language: Language
+) -> np.ndarray:
+    """Commercial product photo from a brand page: ad-like but organic."""
+    img = drawing.smooth_blobs(
+        height, width, rng, scale=5.0,
+        palette=((0.9, 0.9, 0.92), (0.75, 0.78, 0.85)),
+    )
+    w = int(width * rng.uniform(0.3, 0.5))
+    h = int(height * rng.uniform(0.4, 0.6))
+    x = (width - w) // 2
+    y = (height - h) // 2
+    shade = rng.uniform(0.2, 0.6)
+    drawing.fill_rect(img, x, y, w, h, (shade, shade * 0.95, shade * 1.1))
+    drawing.fill_rect(img, x + 2, y + 2, max(w // 4, 1), max(h // 5, 1),
+                      (0.97, 0.97, 1.0))
+    drawing.glyph_row(img, x, min(y + h + 2, height - 3), w, 2, rng,
+                      (0.25, 0.25, 0.25), **glyph_kwargs(language))
+    return img
+
+
+def _widget(
+    rng: np.random.Generator, height: int, width: int, language: Language
+) -> np.ndarray:
+    """A site UI widget (newsletter signup, poll): text + button + border.
+
+    Shares the CTA-button and border cues with ads — the classic false-
+    positive source for perceptual blockers — but keeps flat site-chrome
+    styling instead of a brand-gradient creative background.
+    """
+    base = rng.uniform(0.92, 0.99)
+    img = drawing.blank(height, width, (base, base, base))
+    drawing.text_block(img, 3, 3, width - 6, lines=int(rng.integers(1, 3)),
+                       rng=rng, glyph_height=2, **glyph_kwargs(language))
+    # input field
+    drawing.fill_rect(img, 3, height // 2, int(width * 0.5),
+                      max(height // 8, 3), (1.0, 1.0, 1.0))
+    drawing.draw_border(img, 1, (0.75, 0.75, 0.78))
+    if rng.random() < 0.55:
+        drawing.cta_button(img, rng, color=(0.25, 0.45, 0.8))
+    return img
+
+
+def _blend_ad_intent(
+    img: np.ndarray, rng: np.random.Generator, ad_intent: float
+) -> None:
+    """Layer ad-like cues onto organic content proportionally to intent."""
+    if rng.random() < ad_intent * 0.8:
+        drawing.cta_button(img, rng)
+    if rng.random() < ad_intent * 0.5:
+        drawing.price_flash(img, rng)
+    if rng.random() < ad_intent * 0.35:
+        drawing.draw_border(img, 1, (0.6, 0.6, 0.6))

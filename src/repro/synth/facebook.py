@@ -1,0 +1,133 @@
+"""Synthetic Facebook feed (first-party ads experiment, §5.3).
+
+The experiment's difficulty structure, reproduced here:
+
+* **Right-column ads** are conventional display creatives — the paper
+  notes "the classifier always picks out the ads in the right-columns".
+  Generated at high cue strength.
+* **Sponsored-in-feed posts** are styled like organic posts (Facebook's
+  whole point); only the creative content is commercial.  Generated at
+  *low* cue strength — the paper's main false-negative source.
+* **Organic posts** are user photos/text.
+* **Brand-page posts** are organic content with high "ad intent"
+  (product shots, promos from pages like Dell's, Figure 11a) — the
+  paper's main false-positive source.
+
+A browsing session samples a day's worth of feed items; the evaluation
+driver replays 35 days, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.synth.adgen import AdSpec, generate_ad
+from repro.synth.contentgen import ContentKind, generate_content
+from repro.synth.languages import Language
+from repro.utils.rng import derive, spawn_rng
+
+
+@dataclass
+class FeedItem:
+    """One unit of feed content with its ground-truth label."""
+
+    kind: str            # right_column_ad | sponsored_post | organic | brand_post
+    is_ad: bool          # ground truth per the paper's definition (§5.3)
+    seed: int
+    cue_strength: float = 0.0
+    ad_intent: float = 0.0
+
+    def render(self) -> np.ndarray:
+        rng = spawn_rng(self.seed, "feed-item")
+        if self.kind == "right_column_ad":
+            spec = AdSpec(
+                slot_format="wide_skyscraper" if rng.random() < 0.5 else "square",
+                cue_strength=self.cue_strength,
+            )
+            return generate_ad(rng, spec)
+        if self.kind == "sponsored_post":
+            spec = AdSpec(
+                slot_format="medium_rectangle",
+                cue_strength=self.cue_strength,
+                first_party=True,
+            )
+            return generate_ad(rng, spec)
+        if self.kind == "brand_post":
+            return generate_content(
+                rng, kind=ContentKind.PRODUCT_SHOT, ad_intent=self.ad_intent
+            )
+        # organic: user photos and avatars dominate
+        kind = ContentKind.PHOTO if rng.random() < 0.75 else ContentKind.AVATAR
+        return generate_content(rng, kind=kind, ad_intent=self.ad_intent)
+
+
+@dataclass
+class FeedConfig:
+    """Composition of a browsing session's feed.
+
+    Defaults give ad/non-ad volumes in the paper's ratio (354 ads vs
+    1,830 non-ads over 35 days ≈ 16% ads).
+    """
+
+    seed: int = 0
+    items_per_session: int = 62
+    right_column_fraction: float = 0.065
+    sponsored_fraction: float = 0.095
+    brand_post_fraction: float = 0.08
+    sponsored_cue_strength: float = 0.32
+    right_column_cue_strength: float = 0.92
+    brand_ad_intent: float = 0.55
+    organic_ad_intent_beta: float = 18.0
+    language: Language = Language.ENGLISH
+
+
+class FacebookFeed:
+    """Deterministic generator of daily browsing sessions."""
+
+    def __init__(self, config: FeedConfig | None = None) -> None:
+        self.config = config or FeedConfig()
+
+    def session(self, day: int) -> List[FeedItem]:
+        """Feed items for one day's browsing session."""
+        config = self.config
+        rng = spawn_rng(derive(config.seed, f"day{day}"), "session")
+        items: List[FeedItem] = []
+        for index in range(config.items_per_session):
+            seed = derive(config.seed, f"day{day}/item{index}")
+            roll = rng.random()
+            if roll < config.right_column_fraction:
+                items.append(FeedItem(
+                    kind="right_column_ad", is_ad=True, seed=seed,
+                    cue_strength=float(np.clip(
+                        rng.normal(config.right_column_cue_strength, 0.06),
+                        0.3, 1.0)),
+                ))
+            elif roll < config.right_column_fraction + config.sponsored_fraction:
+                items.append(FeedItem(
+                    kind="sponsored_post", is_ad=True, seed=seed,
+                    cue_strength=float(np.clip(
+                        rng.normal(config.sponsored_cue_strength, 0.12),
+                        0.02, 0.9)),
+                ))
+            elif roll < (config.right_column_fraction
+                         + config.sponsored_fraction
+                         + config.brand_post_fraction):
+                items.append(FeedItem(
+                    kind="brand_post", is_ad=False, seed=seed,
+                    ad_intent=float(np.clip(
+                        rng.normal(config.brand_ad_intent, 0.15), 0.0, 1.0)),
+                ))
+            else:
+                items.append(FeedItem(
+                    kind="organic", is_ad=False, seed=seed,
+                    ad_intent=float(rng.beta(1.0, config.organic_ad_intent_beta)),
+                ))
+        return items
+
+    def browse(self, days: int) -> Iterator[List[FeedItem]]:
+        """Yield one session per day, as in the 35-day methodology."""
+        for day in range(days):
+            yield self.session(day)

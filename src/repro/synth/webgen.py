@@ -1,0 +1,415 @@
+"""Synthetic web: sites, pages, ad slots, ad networks, and HTML markup.
+
+This is the crawl surface for every experiment that touches "the web":
+
+* the EasyList comparison (Figure 6/7) applies filter rules to the URLs
+  and CSS classes generated here,
+* the crawlers (§4.4) visit these pages and harvest images,
+* the render-time evaluation (Figures 14/15) renders them through the
+  browser substrate.
+
+Pages are emitted as *actual HTML markup* and parsed by
+``repro.browser.html``, so the whole pipeline exercises the same
+DOM-shaped decision surface the paper's Chromium integration does.
+Ground-truth ad labels live in the :class:`PageElement` records, keyed
+by resource URL — never inside the markup the classifier-side code sees.
+
+Ad-network coverage is intentionally imperfect: a configurable fraction
+of networks is "known" to the synthetic EasyList and the rest is long
+tail, which is what makes the CNN-vs-EasyList comparison non-trivial
+(EasyList misses some ads; its CSS rules over-select some containers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.synth.adgen import AdSpec, generate_ad, random_ad_spec
+from repro.synth.contentgen import ContentKind, generate_content, sample_kind
+from repro.synth.languages import Language
+from repro.utils.rng import derive, spawn_rng
+
+
+@dataclass(frozen=True)
+class AdNetwork:
+    """A third-party ad network with a serving domain and path style."""
+
+    name: str
+    domain: str
+    path_prefix: str
+    known_to_easylist: bool
+
+
+#: The synthetic ad ecosystem.  ~"known" networks are covered by the
+#: generated EasyList; the rest model the long tail / new entrants.
+AD_NETWORKS: Tuple[AdNetwork, ...] = (
+    AdNetwork("doublevision", "ads.doublevision.test", "/serve", True),
+    AdNetwork("adnexus", "cdn.adnexus.test", "/creative", True),
+    AdNetwork("trackpix", "px.trackpix.test", "/banner", True),
+    AdNetwork("promonet", "static.promonet.test", "/pm", True),
+    AdNetwork("clickforge", "clickforge.test", "/cf/ads", True),
+    AdNetwork("bannerworks", "img.bannerworks.test", "/bw", True),
+    AdNetwork("sponsorly", "sponsorly.test", "/s", False),
+    AdNetwork("freshads", "media.freshads.test", "/x", False),
+)
+
+#: CSS classes conventionally used by ad containers; the first group is
+#: covered by the synthetic EasyList element-hiding rules, the second is
+#: obfuscated (rotating class names — the Facebook trick, §5.3).
+KNOWN_AD_CLASSES: Tuple[str, ...] = (
+    "ad-banner", "ad-container", "adbox", "sponsored-box",
+    "promo-unit", "advert", "ad-slot", "dfp-ad",
+)
+OBFUSCATED_AD_CLASSES: Tuple[str, ...] = (
+    "x3fk2", "qq91z", "t0pbn", "_u7d2", "zz-e4",
+)
+CONTENT_CLASSES: Tuple[str, ...] = (
+    "article-img", "hero", "avatar", "figure", "thumb",
+    "media", "photo", "logo", "chart",
+)
+
+SITE_CATEGORIES: Tuple[str, ...] = (
+    "news", "shopping", "blog", "sports", "tech", "entertainment",
+)
+
+
+@dataclass
+class PageElement:
+    """One DOM-visible resource on a page, with ground truth.
+
+    ``render()`` deterministically regenerates the decoded bitmap from
+    the stored seed and spec, so images never need to be held in memory
+    for a whole corpus.
+    """
+
+    tag: str                      # img | iframe | div
+    url: str                      # resource URL ("" for pure containers)
+    css_classes: Tuple[str, ...]
+    element_id: str
+    width: int                    # CSS px (slot geometry)
+    height: int
+    is_ad: bool
+    third_party: bool
+    loads_late: bool              # dynamically injected; races screenshots
+    seed: int
+    language: Language
+    ad_spec: Optional[AdSpec] = None
+    content_kind: Optional[ContentKind] = None
+    ad_intent: float = 0.0
+
+    def render(self) -> np.ndarray:
+        """Decode-equivalent bitmap for this element's resource."""
+        rng = spawn_rng(self.seed, "element-render")
+        if self.is_ad:
+            if self.ad_spec is None:
+                raise ValueError("ad element missing its AdSpec")
+            return generate_ad(rng, self.ad_spec)
+        return generate_content(
+            rng, kind=self.content_kind, language=self.language,
+            ad_intent=self.ad_intent,
+        )
+
+
+@dataclass
+class Page:
+    """A synthetic page: URL, markup, elements, and site metadata."""
+
+    url: str
+    site_domain: str
+    category: str
+    language: Language
+    elements: List[PageElement]
+    complexity: float  # scales scripting/style cost in the renderer
+
+    @property
+    def html(self) -> str:
+        """Emit the page as HTML markup for the browser substrate."""
+        parts = [
+            "<html><head><title>", self.site_domain, "</title></head><body>",
+            '<div class="masthead"><h1>', self.site_domain, "</h1></div>",
+        ]
+        for element in self.elements:
+            classes = " ".join(element.css_classes)
+            if element.tag == "img":
+                parts.append(
+                    f'<img src="{element.url}" class="{classes}" '
+                    f'id="{element.element_id}" width="{element.width}" '
+                    f'height="{element.height}"/>'
+                )
+            elif element.tag == "iframe":
+                parts.append(
+                    f'<iframe src="{element.url}" class="{classes}" '
+                    f'id="{element.element_id}" width="{element.width}" '
+                    f'height="{element.height}"></iframe>'
+                )
+            else:
+                parts.append(
+                    f'<div class="{classes}" id="{element.element_id}">'
+                    f'<p>lorem synthetica</p></div>'
+                )
+        parts.append("</body></html>")
+        return "".join(parts)
+
+    def image_elements(self) -> List[PageElement]:
+        return [e for e in self.elements if e.tag in ("img", "iframe") and e.url]
+
+    def ad_elements(self) -> List[PageElement]:
+        return [e for e in self.elements if e.is_ad]
+
+
+@dataclass(frozen=True)
+class Site:
+    """A ranked site in the synthetic Alexa-style list."""
+
+    rank: int
+    domain: str
+    category: str
+    language: Language
+
+
+@dataclass
+class WebConfig:
+    """Knobs for the synthetic web.
+
+    ``ad_image_fraction`` and friends are calibrated so the EasyList
+    match rates land near Figure 6 (20.2% of container elements match
+    CSS rules; 31.1% of image requests match network rules).
+    """
+
+    seed: int = 0
+    num_sites: int = 100
+    images_per_page: Tuple[int, int] = (8, 28)
+    containers_per_page: Tuple[int, int] = (6, 18)
+    ad_image_fraction: float = 0.37
+    iframe_ad_fraction: float = 0.55    # ads served through iframes
+    late_load_fraction: float = 0.45    # of ads, injected after onload
+    known_class_fraction: float = 0.72  # ad containers w/ recognizable class
+    known_network_weight: float = 0.88  # traffic share of covered networks
+    first_party_ad_fraction: float = 0.08
+    ad_container_fraction: float = 0.16  # empty ad-slot divs among containers
+    #: each network serves creatives from a finite campaign pool, so the
+    #: same creative recurs across pages (what makes dedup and verdict
+    #: memoization meaningful); 0 disables pooling.
+    campaign_pool_size: int = 60
+    #: per-site pool of reusable content assets (logos, CDN art) and the
+    #: probability a content image is drawn from it; 0 disables reuse.
+    #: Real crawls are duplicate-dominated (the paper keeps 15-20% of
+    #: each phase), driven by both ad campaigns and shared site assets.
+    content_pool_size: int = 0
+    content_reuse_probability: float = 0.7
+    language: Language = Language.ENGLISH
+    language_shift: float = 0.0
+
+
+class SyntheticWeb:
+    """Deterministic generator for the site corpus and its pages."""
+
+    def __init__(self, config: Optional[WebConfig] = None) -> None:
+        self.config = config or WebConfig()
+        self._sites = self._build_sites()
+
+    # ------------------------------------------------------------------
+    # Sites
+    # ------------------------------------------------------------------
+    def _build_sites(self) -> List[Site]:
+        rng = spawn_rng(self.config.seed, "sites")
+        sites = []
+        for rank in range(1, self.config.num_sites + 1):
+            category = SITE_CATEGORIES[int(rng.integers(len(SITE_CATEGORIES)))]
+            sites.append(Site(
+                rank=rank,
+                domain=f"{category}{rank}.example",
+                category=category,
+                language=self.config.language,
+            ))
+        return sites
+
+    def sites(self) -> List[Site]:
+        return list(self._sites)
+
+    def top_sites(self, count: int) -> List[Site]:
+        return self._sites[:count]
+
+    # ------------------------------------------------------------------
+    # Pages
+    # ------------------------------------------------------------------
+    def build_page(self, site: Site, page_index: int = 0) -> Page:
+        """Deterministically generate one page of a site."""
+        seed = derive(self.config.seed, f"{site.domain}/p{page_index}")
+        rng = spawn_rng(seed, "page")
+        path = "/" if page_index == 0 else f"/article/{page_index}"
+        elements: List[PageElement] = []
+
+        lo, hi = self.config.images_per_page
+        num_images = int(rng.integers(lo, hi + 1))
+        for i in range(num_images):
+            elements.append(self._image_element(site, rng, seed, i))
+
+        lo, hi = self.config.containers_per_page
+        num_divs = int(rng.integers(lo, hi + 1))
+        for i in range(num_divs):
+            elements.append(self._container_element(site, rng, seed, i))
+
+        rng.shuffle(elements)  # interleave as a real page would
+        return Page(
+            url=f"https://{site.domain}{path}",
+            site_domain=site.domain,
+            category=site.category,
+            language=site.language,
+            elements=elements,
+            complexity=float(rng.uniform(0.5, 2.0)),
+        )
+
+    def iter_pages(
+        self, sites: Optional[Sequence[Site]] = None,
+        pages_per_site: int = 1,
+    ) -> Iterator[Page]:
+        for site in (sites if sites is not None else self._sites):
+            for index in range(pages_per_site):
+                yield self.build_page(site, index)
+
+    # ------------------------------------------------------------------
+    # Element builders
+    # ------------------------------------------------------------------
+    def _image_element(
+        self, site: Site, rng: np.random.Generator, page_seed: int, index: int
+    ) -> PageElement:
+        config = self.config
+        element_seed = derive(page_seed, f"img{index}")
+        is_ad = bool(rng.random() < config.ad_image_fraction)
+        if is_ad:
+            tag = "iframe" if rng.random() < config.iframe_ad_fraction else "img"
+            if rng.random() < config.first_party_ad_fraction:
+                spec = random_ad_spec(
+                    rng, language=config.language,
+                    language_shift=config.language_shift,
+                )
+                url = f"https://{site.domain}/promo/{element_seed:08x}.png"
+                third_party = False
+            else:
+                network = self._pick_network(rng)
+                # creative comes from the network's campaign pool: the
+                # same (seed, spec, URL) recurs across pages and sites.
+                element_seed, spec, url = self._campaign(network, rng)
+                third_party = True
+            width, height = spec.slot_size()
+            classes = self._ad_classes(rng)
+            return PageElement(
+                tag=tag, url=url, css_classes=classes,
+                element_id=f"el-{element_seed:08x}",
+                width=width, height=height, is_ad=True,
+                third_party=third_party,
+                loads_late=bool(rng.random() < config.late_load_fraction),
+                seed=element_seed, language=config.language, ad_spec=spec,
+            )
+        # Regional webs (language_shift > 0) skew toward commercial,
+        # text-dense content (e-commerce-heavy portals): the paper's
+        # low non-English precision comes from exactly this confusion.
+        shift = config.language_shift
+        if shift > 0 and rng.random() < 0.6 * shift:
+            kind = (ContentKind.PRODUCT_SHOT if rng.random() < 0.6
+                    else ContentKind.WIDGET)
+        else:
+            kind = sample_kind(rng)
+        ad_intent = (float(rng.beta(1.0 + 6.0 * shift, 10.0))
+                     if shift > 0 else float(rng.beta(1.0, 14.0)))
+        if config.content_pool_size > 0 and \
+                rng.random() < config.content_reuse_probability:
+            # shared site asset: seed, kind and intent all derive from
+            # the pool slot so the same URL always renders the same
+            # pixels no matter which page references it
+            slot = int(rng.integers(config.content_pool_size))
+            element_seed = derive(
+                self.config.seed, f"asset/{site.domain}/{slot}"
+            )
+            asset_rng = spawn_rng(element_seed, "asset-kind")
+            kind = sample_kind(asset_rng)
+            ad_intent = float(asset_rng.beta(1.0, 14.0))
+        width = int(rng.integers(80, 640))
+        height = int(rng.integers(60, 480))
+        host = site.domain if rng.random() < 0.6 else f"cdn.{site.domain}"
+        url = f"https://{host}/img/{element_seed:08x}.jpg"
+        classes = (CONTENT_CLASSES[int(rng.integers(len(CONTENT_CLASSES)))],)
+        return PageElement(
+            tag="img", url=url, css_classes=classes,
+            element_id=f"el-{element_seed:08x}",
+            width=width, height=height, is_ad=False, third_party=False,
+            loads_late=bool(rng.random() < 0.08),
+            seed=element_seed, language=config.language, content_kind=kind,
+            ad_intent=ad_intent,
+        )
+
+    def _container_element(
+        self, site: Site, rng: np.random.Generator, page_seed: int, index: int
+    ) -> PageElement:
+        element_seed = derive(page_seed, f"div{index}")
+        # A fraction of containers are ad-slot placeholders (the divs ad
+        # scripts fill in); they carry ad classes and are what EasyList's
+        # element-hiding rules over-select even when the slot stays empty.
+        if rng.random() < self.config.ad_container_fraction:
+            classes = self._ad_classes(rng)
+        else:
+            classes = (
+                CONTENT_CLASSES[int(rng.integers(len(CONTENT_CLASSES)))],
+            )
+        return PageElement(
+            tag="div", url="", css_classes=classes,
+            element_id=f"c-{element_seed:08x}",
+            width=int(rng.integers(100, 800)),
+            height=int(rng.integers(40, 400)),
+            is_ad=False, third_party=False, loads_late=False,
+            seed=element_seed, language=self.config.language,
+        )
+
+    def _pick_network(self, rng: np.random.Generator) -> AdNetwork:
+        """Sample an ad network, concentrating traffic on known ones."""
+        known = [n for n in AD_NETWORKS if n.known_to_easylist]
+        unknown = [n for n in AD_NETWORKS if not n.known_to_easylist]
+        if unknown and rng.random() >= self.config.known_network_weight:
+            return unknown[int(rng.integers(len(unknown)))]
+        return known[int(rng.integers(len(known)))]
+
+    def _campaign(
+        self, network: AdNetwork, rng: np.random.Generator
+    ) -> Tuple[int, AdSpec, str]:
+        """Pick a campaign creative from the network's pool.
+
+        Campaign popularity is heavy-tailed (a few creatives dominate),
+        approximated by squaring a uniform draw.
+        """
+        pool = max(self.config.campaign_pool_size, 1)
+        campaign = int((rng.random() ** 2) * pool)
+        seed = derive(
+            self.config.seed, f"campaign/{network.name}/{campaign}"
+        )
+        spec_rng = spawn_rng(seed, "campaign-spec")
+        spec = random_ad_spec(
+            spec_rng,
+            language=self.config.language,
+            language_shift=self.config.language_shift,
+        )
+        url = (
+            f"https://{network.domain}{network.path_prefix}"
+            f"/c{campaign:04d}_{seed:08x}.png"
+        )
+        return seed, spec, url
+
+    def _ad_classes(self, rng: np.random.Generator) -> Tuple[str, ...]:
+        if rng.random() < self.config.known_class_fraction:
+            pool = KNOWN_AD_CLASSES
+        else:
+            pool = OBFUSCATED_AD_CLASSES
+        return (pool[int(rng.integers(len(pool)))],)
+
+
+def url_registry(pages: Sequence[Page]) -> Dict[str, PageElement]:
+    """Map resource URL -> element across pages (the mock network's backing
+    store; duplicate URLs keep the first binding, as a CDN would)."""
+    registry: Dict[str, PageElement] = {}
+    for page in pages:
+        for element in page.image_elements():
+            registry.setdefault(element.url, element)
+    return registry

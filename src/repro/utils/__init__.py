@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG management, hashing, virtual clock, logging.
+
+These helpers are deliberately tiny and dependency-free so every other
+subpackage (``repro.nn``, ``repro.browser``, ``repro.synth``, ...) can rely
+on them without import cycles.
+"""
+
+from repro.utils.rng import derive, spawn_rng
+from repro.utils.hashing import stable_hash, image_fingerprint
+from repro.utils.clock import VirtualClock
+from repro.utils.timing import Timer, measure_latency
+
+__all__ = [
+    "derive",
+    "spawn_rng",
+    "stable_hash",
+    "image_fingerprint",
+    "VirtualClock",
+    "Timer",
+    "measure_latency",
+]

@@ -1,0 +1,78 @@
+"""Virtual clock for the simulated browser pipeline.
+
+The paper measures render time (``domComplete - domLoading``) on real
+hardware.  Our Blink-shaped substrate instead accounts simulated time:
+each pipeline stage charges a cost to the clock, and parallel raster
+threads are modelled by per-thread lanes whose completion is the max over
+lanes.  Classifier cost is *calibrated* from the measured numpy inference
+latency, so the one genuinely real cost in the experiment stays real.
+
+Using virtual time keeps the render benchmarks deterministic and fast
+while preserving the structure of the overhead computation (per-image
+classification serialized on each raster worker's critical path).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (milliseconds)."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start in negative time")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError("cannot advance clock backwards")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Move the clock forward to ``timestamp_ms`` if it is later."""
+        if timestamp_ms > self._now_ms:
+            self._now_ms = timestamp_ms
+        return self._now_ms
+
+
+class WorkerLanes:
+    """Simulated pool of parallel workers (e.g. Blink raster threads).
+
+    Tasks are assigned to the least-loaded lane, modelling a work-stealing
+    pool at the level of aggregate completion times.  ``makespan`` is the
+    simulated wall-clock the pool needs to finish everything assigned.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker lane")
+        self._lanes = [0.0] * num_workers
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._lanes)
+
+    def submit(self, cost_ms: float) -> int:
+        """Assign a task to the least-loaded lane; returns the lane index."""
+        if cost_ms < 0:
+            raise ValueError("task cost must be non-negative")
+        lane = min(range(len(self._lanes)), key=self._lanes.__getitem__)
+        self._lanes[lane] += cost_ms
+        return lane
+
+    @property
+    def makespan_ms(self) -> float:
+        """Simulated time until the last lane drains."""
+        return max(self._lanes)
+
+    @property
+    def total_work_ms(self) -> float:
+        """Sum of work across lanes (CPU time, not wall time)."""
+        return sum(self._lanes)

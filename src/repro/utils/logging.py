@@ -1,0 +1,23 @@
+"""Minimal logging setup shared by examples and experiment drivers."""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger with a single stream handler.
+
+    Repeated calls with the same name return the same logger without
+    stacking handlers.
+    """
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,109 @@
+"""HTML parsing and DOM semantics."""
+
+import pytest
+
+from repro.browser.dom import Document, DomNode
+from repro.browser.html import parse_html
+
+
+class TestParser:
+    def test_simple_document(self):
+        doc = parse_html("<html><body><p>hi</p></body></html>")
+        assert doc.body is not None
+        assert doc.body.children[0].tag == "p"
+
+    def test_attributes_parsed(self):
+        doc = parse_html(
+            '<img src="https://x.example/a.png" class="hero big" '
+            "id='main' width=300 height=250/>"
+        )
+        img = doc.root.find_all("img")[0]
+        assert img.src == "https://x.example/a.png"
+        assert img.css_classes == ("hero", "big")
+        assert img.element_id == "main"
+        assert img.int_attribute("width") == 300
+
+    def test_void_elements_dont_nest(self):
+        doc = parse_html("<div><img src='a'><img src='b'></div>")
+        div = doc.root.find_all("div")[0]
+        assert len(div.find_all("img")) == 2
+        for img in div.find_all("img"):
+            assert img.children == []
+
+    def test_nested_structure(self):
+        doc = parse_html(
+            "<div id='outer'><div id='inner'><span>x</span></div></div>"
+        )
+        outer = doc.root.find_all("div")[0]
+        inner = outer.children[0]
+        assert inner.element_id == "inner"
+        assert inner.children[0].tag == "span"
+
+    def test_comments_ignored(self):
+        doc = parse_html("<div><!-- <img src='ghost'> --></div>")
+        assert doc.root.find_all("img") == []
+
+    def test_unclosed_tags_recovered(self):
+        doc = parse_html("<div><p>text</div>")
+        assert doc.root.find_all("p")
+
+    def test_stray_close_tag_dropped(self):
+        doc = parse_html("</div><p>ok</p>")
+        assert doc.root.find_all("p")
+
+    def test_text_nodes_captured(self):
+        doc = parse_html("<p>hello world</p>")
+        texts = [n.text for n in doc.root.walk() if n.tag == "#text"]
+        assert "hello world" in texts
+
+    def test_case_insensitive_tags(self):
+        doc = parse_html("<DIV><IMG SRC='x'/></DIV>")
+        assert doc.root.find_all("div")
+        assert doc.root.find_all("img")
+
+    def test_single_quoted_and_unquoted_attrs(self):
+        doc = parse_html("<img src=plain class='single'>")
+        img = doc.root.find_all("img")[0]
+        assert img.src == "plain"
+        assert img.css_classes == ("single",)
+
+    def test_iframe_is_resource_element(self):
+        doc = parse_html(
+            '<iframe src="https://ads.example/f"></iframe>'
+            '<img src="https://x.example/i.png">'
+            '<img alt="no src">'
+        )
+        resources = doc.resource_elements()
+        assert len(resources) == 2
+
+    def test_synthetic_page_roundtrip(self):
+        from repro.synth.webgen import SyntheticWeb, WebConfig
+        web = SyntheticWeb(WebConfig(seed=0, num_sites=2))
+        page = web.build_page(web.top_sites(1)[0])
+        doc = parse_html(page.html)
+        parsed_urls = {n.src for n in doc.resource_elements()}
+        generated_urls = {e.url for e in page.image_elements()}
+        assert parsed_urls == generated_urls
+
+
+class TestDomNode:
+    def test_walk_preorder(self):
+        root = DomNode("a")
+        b = root.append(DomNode("b"))
+        b.append(DomNode("c"))
+        root.append(DomNode("d"))
+        assert [n.tag for n in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_parent_links(self):
+        root = DomNode("a")
+        child = root.append(DomNode("b"))
+        assert child.parent is root
+
+    def test_int_attribute_fallback(self):
+        node = DomNode("img", {"width": "nope"})
+        assert node.int_attribute("width", 7) == 7
+
+    def test_element_count_excludes_text(self):
+        doc = parse_html("<div><p>one two</p></div>")
+        count_all = sum(1 for _ in doc.root.walk())
+        assert doc.element_count() < count_all

@@ -1,0 +1,88 @@
+"""Layout tree and display-list generation."""
+
+import pytest
+
+from repro.browser.display_list import (
+    DisplayItem,
+    DisplayItemKind,
+    build_display_list,
+)
+from repro.browser.html import parse_html
+from repro.browser.layout import build_layout_tree
+
+
+def _layout(html):
+    return build_layout_tree(parse_html(html))
+
+
+class TestLayout:
+    def test_images_use_declared_size(self):
+        root = _layout('<img src="a" width="300" height="250">')
+        box = root.children[0]
+        assert box.width == 300
+        assert box.height == 250
+
+    def test_blocks_stack_vertically(self):
+        root = _layout(
+            '<img src="a" width="10" height="100">'
+            '<img src="b" width="10" height="50">'
+        )
+        first, second = root.children
+        assert second.y == first.y + first.height
+        assert root.height == 150
+
+    def test_hidden_elements_produce_no_boxes(self):
+        doc = parse_html('<img src="a" width="10" height="10">')
+        doc.resource_elements()[0].hidden = True
+        root = build_layout_tree(doc)
+        assert root.children == []
+        assert root.height == 0
+
+    def test_width_clamped_to_viewport(self):
+        root = _layout('<img src="a" width="99999" height="10">')
+        assert root.children[0].width <= 1280
+
+    def test_nested_containers_accumulate_height(self):
+        root = _layout(
+            '<div><img src="a" width="10" height="40">'
+            '<img src="b" width="10" height="60"></div>'
+        )
+        assert root.height >= 100
+
+    def test_text_gets_line_boxes(self):
+        root = _layout("<p>" + "word " * 100 + "</p>")
+        assert root.height > 18  # multiple lines
+
+    def test_walk_covers_all_boxes(self):
+        root = _layout('<div><img src="a" width="5" height="5"></div>')
+        tags = [box.node.tag for box in root.walk()]
+        assert "img" in tags
+
+
+class TestDisplayList:
+    def test_image_items_carry_urls(self):
+        root = _layout('<img src="https://x/img.png" width="10" height="10">')
+        items = build_display_list(root)
+        image_items = [i for i in items
+                       if i.kind is DisplayItemKind.IMAGE]
+        assert len(image_items) == 1
+        assert image_items[0].url == "https://x/img.png"
+
+    def test_band_intersection(self):
+        item = DisplayItem(DisplayItemKind.IMAGE, 0, 100, 50, 50)
+        assert item.intersects_band(0, 256)
+        assert item.intersects_band(100, 150)
+        assert not item.intersects_band(151, 300)
+        assert not item.intersects_band(0, 100)  # exclusive bottom
+
+    def test_hidden_images_absent(self):
+        doc = parse_html('<img src="a" width="10" height="10">')
+        doc.resource_elements()[0].hidden = True
+        items = build_display_list(build_layout_tree(doc))
+        assert all(i.kind is not DisplayItemKind.IMAGE for i in items)
+
+    def test_text_and_rect_items_emitted(self):
+        root = _layout("<div><p>text here</p></div>")
+        kinds = {i.kind for i in build_display_list(root)}
+        assert DisplayItemKind.TEXT in kinds
+        assert DisplayItemKind.RECT in kinds

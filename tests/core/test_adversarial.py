@@ -1,0 +1,141 @@
+"""Adversarial attack/defense machinery (§6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adversarial import (
+    EvasionReport,
+    adversarial_finetune,
+    evasion_rate,
+    fgsm_perturb,
+    input_gradient,
+)
+from repro.core.preprocessing import preprocess_batch
+from repro.models.percivalnet import LABEL_AD
+from repro.synth.adgen import AdSpec, generate_ad
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def ad_tensors(reference_classifier):
+    rng = spawn_rng(8, "adv")
+    bitmaps = [
+        generate_ad(rng, AdSpec(cue_strength=0.95)) for _ in range(24)
+    ]
+    return preprocess_batch(
+        bitmaps, reference_classifier.config.input_size
+    )
+
+
+class TestInputGradient:
+    def test_shape_matches_input(self, reference_classifier, ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        grad = input_gradient(reference_classifier, ad_tensors, labels)
+        assert grad.shape == ad_tensors.shape
+
+    def test_parameter_grads_cleared(self, reference_classifier,
+                                     ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        input_gradient(reference_classifier, ad_tensors, labels)
+        for param in reference_classifier.network.parameters():
+            assert not param.grad.any()
+
+
+class TestFGSM:
+    def test_stays_in_feasible_range(self, reference_classifier,
+                                     ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        perturbed = fgsm_perturb(
+            reference_classifier, ad_tensors, labels, epsilon=0.1
+        )
+        assert perturbed.min() >= -1.0
+        assert perturbed.max() <= 1.0
+
+    def test_perturbation_bounded_by_epsilon(self, reference_classifier,
+                                             ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        eps = 0.05
+        perturbed = fgsm_perturb(
+            reference_classifier, ad_tensors, labels, eps
+        )
+        assert np.abs(perturbed - ad_tensors).max() <= eps + 1e-6
+
+    def test_zero_epsilon_identity(self, reference_classifier,
+                                   ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        perturbed = fgsm_perturb(
+            reference_classifier, ad_tensors, labels, 0.0
+        )
+        assert np.allclose(perturbed, ad_tensors)
+
+    def test_negative_epsilon_rejected(self, reference_classifier,
+                                       ad_tensors):
+        labels = np.full(ad_tensors.shape[0], LABEL_AD, dtype=np.int64)
+        with pytest.raises(ValueError):
+            fgsm_perturb(reference_classifier, ad_tensors, labels, -0.1)
+
+
+class TestEvasion:
+    def test_attack_reduces_recall(self, reference_classifier,
+                                   ad_tensors):
+        """The §6 vulnerability: perceptible-budget FGSM evades the
+        classifier on a meaningful share of ads."""
+        report = evasion_rate(
+            reference_classifier, ad_tensors, epsilon=0.25
+        )
+        assert report.clean_recall > 0.8
+        assert report.perturbed_recall < report.clean_recall
+        assert report.evasion_rate > 0.0
+
+    def test_monotone_in_epsilon(self, reference_classifier, ad_tensors):
+        small = evasion_rate(reference_classifier, ad_tensors, 0.02)
+        large = evasion_rate(reference_classifier, ad_tensors, 0.4)
+        assert large.perturbed_recall <= small.perturbed_recall + 0.1
+
+    def test_report_rates_consistent(self):
+        report = EvasionReport(
+            epsilon=0.1, total_ads=10, detected_clean=8,
+            detected_perturbed=4,
+        )
+        assert report.clean_recall == 0.8
+        assert report.evasion_rate == 0.5
+
+    def test_zero_detected_no_division_error(self):
+        report = EvasionReport(
+            epsilon=0.1, total_ads=5, detected_clean=0,
+            detected_perturbed=0,
+        )
+        assert report.evasion_rate == 0.0
+
+
+class TestAdversarialTraining:
+    def test_defense_restores_recall(self, reference_classifier):
+        """Adversarial fine-tuning reduces the evasion rate — the
+        client-side-retraining mitigation the paper sketches.  Runs on
+        a *clone* so the shared reference model stays untouched."""
+        from repro.core.adversarial import clone_classifier
+        from repro.data.corpus import CorpusConfig, build_training_corpus
+
+        corpus = build_training_corpus(CorpusConfig(
+            seed=2, num_ads=120, num_nonads=120,
+            input_size=reference_classifier.config.input_size,
+        ))
+        defended = clone_classifier(reference_classifier)
+        ads = corpus.images[corpus.labels == 1][:40]
+        eps = 0.15
+        before = evasion_rate(defended, ads, eps, steps=8)
+        assert before.evasion_rate > 0.2  # the attack works pre-defense
+
+        adversarial_finetune(
+            defended, corpus.images, corpus.labels,
+            epsilon=eps, epochs=2,
+        )
+        after = evasion_rate(defended, ads, eps, steps=8)
+        assert after.perturbed_recall > before.perturbed_recall
+
+    def test_clone_does_not_alias_weights(self, reference_classifier):
+        from repro.core.adversarial import clone_classifier
+        clone = clone_classifier(reference_classifier)
+        original = reference_classifier.network.parameters()[0].data
+        clone.network.parameters()[0].data[...] = -1.0
+        assert not np.allclose(original, -1.0)

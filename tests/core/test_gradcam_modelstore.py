@@ -1,0 +1,82 @@
+"""Grad-CAM salience and the model store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AdClassifier, GradCam, ModelStore, PercivalConfig
+from repro.synth.adgen import AdSpec, generate_ad
+from repro.utils.rng import spawn_rng
+
+
+class TestGradCam:
+    def test_salience_shape_matches_bitmap(self, reference_classifier):
+        ad = generate_ad(spawn_rng(1, "g"), AdSpec(cue_strength=1.0))
+        cam = GradCam(reference_classifier).salience(ad)
+        assert cam.shape == ad.shape[:2]
+
+    def test_salience_in_unit_range(self, reference_classifier):
+        ad = generate_ad(spawn_rng(2, "g"), AdSpec(cue_strength=1.0))
+        cam = GradCam(reference_classifier).salience(ad)
+        assert cam.min() >= 0.0
+        assert cam.max() <= 1.0 + 1e-6
+
+    def test_layer_selection(self, reference_classifier):
+        gradcam = GradCam(reference_classifier)
+        ad = generate_ad(spawn_rng(3, "g"), AdSpec(cue_strength=1.0))
+        layers = gradcam.available_layers()
+        early = gradcam.salience(ad, layer=layers[1])
+        late = gradcam.salience(ad, layer=layers[-1])
+        assert early.shape == late.shape
+        assert not np.allclose(early, late)
+
+    def test_invalid_layer_rejected(self, reference_classifier):
+        gradcam = GradCam(reference_classifier)
+        ad = generate_ad(spawn_rng(4, "g"), AdSpec())
+        with pytest.raises(ValueError):
+            gradcam.salience(ad, layer=1)  # 1 is the stem ReLU
+
+    def test_cue_mass_fraction(self, reference_classifier):
+        gradcam = GradCam(reference_classifier)
+        ad = generate_ad(spawn_rng(5, "g"), AdSpec(cue_strength=1.0))
+        height, width = ad.shape[:2]
+        full = gradcam.cue_mass(ad, (0, 0, width, height))
+        assert full == pytest.approx(1.0, abs=1e-5)
+        half = gradcam.cue_mass(ad, (0, 0, width // 2, height))
+        assert 0.0 <= half <= 1.0
+
+
+class TestModelStore:
+    def test_cache_roundtrip(self, tmp_path):
+        store = ModelStore(cache_dir=str(tmp_path))
+        config = PercivalConfig(
+            epochs=1, num_train_ads=24, num_train_nonads=24,
+            input_size=16, seed=3,
+        )
+        first = store.load_or_train(config)
+        files = os.listdir(tmp_path)
+        assert any(f.endswith(".npz") for f in files)
+        assert any(f.endswith(".json") for f in files)
+
+        second = store.load_or_train(config)
+        ad = generate_ad(spawn_rng(0, "m"), AdSpec())
+        assert first.ad_probability(ad) == pytest.approx(
+            second.ad_probability(ad), abs=1e-6
+        )
+
+    def test_different_configs_different_entries(self, tmp_path):
+        store = ModelStore(cache_dir=str(tmp_path))
+        a = PercivalConfig(epochs=1, num_train_ads=24,
+                           num_train_nonads=24, input_size=16, seed=3)
+        b = PercivalConfig(epochs=1, num_train_ads=24,
+                           num_train_nonads=24, input_size=16, seed=4)
+        store.load_or_train(a)
+        store.load_or_train(b)
+        assert len([f for f in os.listdir(tmp_path)
+                    if f.endswith(".npz")]) == 2
+
+    def test_threshold_not_part_of_cache_key(self):
+        a = PercivalConfig(ad_threshold=0.5)
+        b = PercivalConfig(ad_threshold=0.9)
+        assert a.cache_key() == b.cache_key()

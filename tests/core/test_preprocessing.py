@@ -1,0 +1,53 @@
+"""Bitmap preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import preprocess_batch, preprocess_bitmap
+
+
+class TestPreprocessBitmap:
+    def test_output_shape(self, rng):
+        bitmap = rng.random((50, 30, 4)).astype(np.float32)
+        tensor = preprocess_bitmap(bitmap, 32)
+        assert tensor.shape == (4, 32, 32)
+
+    def test_rgb_gets_alpha(self, rng):
+        bitmap = rng.random((20, 20, 3)).astype(np.float32)
+        tensor = preprocess_bitmap(bitmap, 16)
+        assert tensor.shape == (4, 16, 16)
+        # alpha channel normalized from 1.0 -> 1.0 after centering
+        assert np.allclose(tensor[3], (1.0 - 0.5) * 2.0)
+
+    def test_normalized_range(self, rng):
+        bitmap = rng.random((20, 20, 4)).astype(np.float32)
+        tensor = preprocess_bitmap(bitmap, 16)
+        assert tensor.min() >= -1.0 - 1e-5
+        assert tensor.max() <= 1.0 + 1e-5
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            preprocess_bitmap(np.zeros((4, 4)), 16)
+
+    def test_bad_channels_rejected(self):
+        with pytest.raises(ValueError):
+            preprocess_bitmap(np.zeros((4, 4, 2)), 16)
+
+    def test_paper_input_size_supported(self, rng):
+        bitmap = rng.random((300, 250, 4)).astype(np.float32)
+        tensor = preprocess_bitmap(bitmap, 224)
+        assert tensor.shape == (4, 224, 224)
+
+
+class TestPreprocessBatch:
+    def test_stacks(self, rng):
+        bitmaps = [
+            rng.random((10 + i, 20, 4)).astype(np.float32)
+            for i in range(3)
+        ]
+        batch = preprocess_batch(bitmaps, 16)
+        assert batch.shape == (3, 4, 16, 16)
+
+    def test_empty_batch(self):
+        batch = preprocess_batch([], 16)
+        assert batch.shape == (0, 4, 16, 16)

@@ -1,0 +1,117 @@
+"""Traditional and pipeline crawlers (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.dedup import deduplicate
+from repro.crawl.pipeline import PipelineCrawler
+from repro.crawl.traditional import TraditionalCrawler
+from repro.data.dataset import LabeledImageDataset
+from repro.filterlist.easylist import default_easylist
+from repro.synth.webgen import SyntheticWeb, WebConfig
+
+
+@pytest.fixture(scope="module")
+def web():
+    return SyntheticWeb(WebConfig(seed=21, num_sites=6,
+                                  images_per_page=(6, 12)))
+
+
+class TestTraditionalCrawler:
+    def test_collects_balanced_dataset(self, web):
+        crawler = TraditionalCrawler(web, default_easylist(), seed=0)
+        dataset, stats = crawler.crawl(4, pages_per_site=2)
+        assert dataset.num_ads == dataset.num_nonads
+        assert stats.pages_visited == 8
+        assert stats.elements_screenshotted > 0
+
+    def test_race_produces_white_screenshots(self, web):
+        crawler = TraditionalCrawler(
+            web, default_easylist(), race_probability=1.0, seed=0,
+        )
+        _, stats = crawler.crawl(4, pages_per_site=1)
+        assert stats.white_screenshots > 0
+
+    def test_no_race_no_whites(self, web):
+        crawler = TraditionalCrawler(
+            web, default_easylist(), race_probability=0.0, seed=0,
+        )
+        _, stats = crawler.crawl(4, pages_per_site=1)
+        assert stats.white_screenshots == 0
+
+    def test_easylist_labels_carry_noise(self, web):
+        crawler = TraditionalCrawler(web, default_easylist(), seed=0)
+        _, stats = crawler.crawl(6, pages_per_site=2)
+        # unknown networks / first-party ads get mislabelled by the list
+        assert stats.mislabelled > 0
+
+    def test_blank_detection_removes_whites(self, web):
+        crawler = TraditionalCrawler(
+            web, default_easylist(), race_probability=1.0,
+            blank_detection_rate=1.0, seed=0,
+        )
+        dataset, stats = crawler.crawl(4, pages_per_site=1)
+        assert stats.removed_as_blank > 0
+        assert all(not m.get("white") for m in dataset.metadata)
+
+
+class TestPipelineCrawler:
+    def test_captures_every_frame(self, web):
+        crawler = PipelineCrawler(web, classifier=None, seed=0)
+        _, stats = crawler.crawl(4, pages_per_site=2)
+        expected = sum(
+            len(p.image_elements())
+            for p in web.iter_pages(web.top_sites(4), 2)
+        )
+        assert stats.frames_captured == expected
+        assert stats.white_screenshots == 0
+
+    def test_bootstrap_labels_are_ground_truth(self, web):
+        crawler = PipelineCrawler(web, classifier=None, seed=0)
+        dataset, _ = crawler.crawl(3, pages_per_site=1)
+        truths = np.array([m["truth"] for m in dataset.metadata])
+        assert np.array_equal(dataset.labels, truths)
+
+    def test_classifier_buckets_used_when_present(
+        self, web, reference_classifier
+    ):
+        crawler = PipelineCrawler(
+            web, classifier=reference_classifier, seed=0,
+        )
+        dataset, stats = crawler.crawl(2, pages_per_site=1)
+        assert stats.bucketed_ads + stats.bucketed_nonads == \
+            stats.frames_captured
+        # buckets mostly agree with ground truth for a trained model
+        truths = np.array([m["truth"] for m in dataset.metadata])
+        agreement = (dataset.labels == truths).mean()
+        assert agreement > 0.85
+
+    def test_dedup_removes_campaign_repeats(self, web):
+        crawler = PipelineCrawler(web, classifier=None, seed=0)
+        _, stats = crawler.crawl(6, pages_per_site=2)
+        assert stats.removed_as_duplicate > 0
+        assert 0.0 < stats.useful_fraction < 1.0
+
+
+class TestDedup:
+    def test_exact_duplicates_removed(self):
+        images = np.zeros((4, 4, 2, 2), dtype=np.float32)
+        images[1] += 1.0
+        labels = np.zeros(4, dtype=np.int64)
+        data = LabeledImageDataset(images, labels,
+                                   [{"i": i} for i in range(4)])
+        deduped, removed = deduplicate(data)
+        assert removed == 2  # images 0, 2, 3 identical -> keep one
+        assert len(deduped) == 2
+
+    def test_first_occurrence_kept(self):
+        images = np.stack([
+            np.zeros((1, 2, 2), dtype=np.float32),
+            np.zeros((1, 2, 2), dtype=np.float32),
+        ])
+        data = LabeledImageDataset(
+            images, np.array([0, 1], dtype=np.int64),
+            [{"i": 0}, {"i": 1}],
+        )
+        deduped, _ = deduplicate(data)
+        assert deduped.metadata[0]["i"] == 0

@@ -1,0 +1,72 @@
+"""Crowd-sourced rule aggregation (§6 deployment)."""
+
+import pytest
+
+from repro.crawl.crowdsource import (
+    UserReport,
+    aggregate_reports,
+    run_crowdsource_simulation,
+)
+from repro.filterlist.easylist import default_easylist
+from repro.filterlist.engine import FilterEngine
+
+
+class TestAggregateReports:
+    def _report(self, user, hosts):
+        return UserReport(user_id=user, flagged_hosts=set(hosts))
+
+    def test_consensus_promotes(self):
+        reports = [
+            self._report(0, {"bad.test"}),
+            self._report(1, {"bad.test"}),
+            self._report(2, {"bad.test", "lonely.test"}),
+        ]
+        result = aggregate_reports(reports, min_reporters=3)
+        assert result.promoted_rules == ["||bad.test^$image"]
+        assert result.rejected_hosts == {"lonely.test": 1}
+
+    def test_single_user_cannot_poison(self):
+        """One malicious user reporting a legitimate host never reaches
+        the shared list under a >1 consensus threshold."""
+        reports = [
+            self._report(0, {"victim-cdn.test"}),
+            self._report(1, set()),
+            self._report(2, set()),
+        ]
+        result = aggregate_reports(reports, min_reporters=2)
+        assert result.promoted_rules == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_reports([], min_reporters=0)
+
+    def test_promoted_rules_parse(self):
+        reports = [
+            self._report(i, {"ads-x.test", "ads-y.test"})
+            for i in range(4)
+        ]
+        result = aggregate_reports(reports, min_reporters=3)
+        engine = FilterEngine.from_text("\n".join(result.promoted_rules))
+        assert engine.num_network_rules == 2
+
+
+class TestSimulation:
+    def test_end_to_end_promotes_unknown_networks(
+        self, reference_classifier
+    ):
+        result = run_crowdsource_simulation(
+            reference_classifier, default_easylist(),
+            num_users=5, min_reporters=3, seed=99,
+        )
+        assert len(result.reports) == 5
+        assert all(r.pages_browsed > 0 for r in result.reports)
+        # the uncovered networks are seen by many users -> promoted
+        promoted = " ".join(result.promoted_rules)
+        assert "sponsorly.test" in promoted or "freshads.test" in promoted
+
+    def test_table_renders(self, reference_classifier):
+        result = run_crowdsource_simulation(
+            reference_classifier, default_easylist(),
+            num_users=3, min_reporters=2, seed=98,
+        )
+        assert "crowd-sourced" in result.to_table()

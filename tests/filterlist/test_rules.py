@@ -1,0 +1,166 @@
+"""ABP rule parsing and matching semantics."""
+
+import pytest
+
+from repro.filterlist.rules import (
+    ElementHideRule,
+    NetworkRule,
+    RuleParseError,
+    parse_filter_list,
+    parse_rule,
+)
+
+
+class TestParseRule:
+    def test_comment_returns_none(self):
+        assert parse_rule("! a comment") is None
+        assert parse_rule("[Adblock Plus 2.0]") is None
+        assert parse_rule("   ") is None
+
+    def test_network_rule_type(self):
+        assert isinstance(parse_rule("||ads.example^"), NetworkRule)
+
+    def test_elemhide_rule_type(self):
+        assert isinstance(parse_rule("##.ad-banner"), ElementHideRule)
+
+    def test_exception_flag(self):
+        rule = parse_rule("@@||good.example^")
+        assert rule.is_exception
+
+    def test_unsupported_option_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("||x.example^$bogus-option")
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("$image")
+
+
+class TestDomainAnchor:
+    def test_matches_domain_and_subdomains(self):
+        rule = parse_rule("||ads.example^")
+        assert rule.matches_url("https://ads.example/x.png")
+        assert rule.matches_url("http://cdn.ads.example/x.png")
+
+    def test_rejects_domain_suffix_lookalike(self):
+        rule = parse_rule("||ads.example^")
+        assert not rule.matches_url("https://notads.example/x.png")
+        assert not rule.matches_url("https://ads.example.evil/x.png")
+
+    def test_separator_matches_end_of_url(self):
+        rule = parse_rule("||ads.example^")
+        assert rule.matches_url("https://ads.example")
+
+
+class TestPatternSyntax:
+    def test_plain_substring(self):
+        rule = parse_rule("/banner/")
+        assert rule.matches_url("https://x.example/banner/1.png")
+        assert not rule.matches_url("https://x.example/header/1.png")
+
+    def test_wildcard(self):
+        rule = parse_rule("/serve/*.png")
+        assert rule.matches_url("https://a.example/serve/abc/x.png")
+        assert not rule.matches_url("https://a.example/serve/abc/x.jpg")
+
+    def test_start_anchor(self):
+        rule = parse_rule("|https://exact.example/")
+        assert rule.matches_url("https://exact.example/a")
+        assert not rule.matches_url("http://other/https://exact.example/")
+
+    def test_end_anchor(self):
+        rule = parse_rule("/pixel.gif|")
+        assert rule.matches_url("https://x.example/pixel.gif")
+        assert not rule.matches_url("https://x.example/pixel.gif?u=1")
+
+    def test_separator_character_class(self):
+        rule = parse_rule("||x.example/ad^")
+        assert rule.matches_url("https://x.example/ad/img.png")
+        assert rule.matches_url("https://x.example/ad?q=1")
+        assert not rule.matches_url("https://x.example/adjacent")
+
+
+class TestOptions:
+    def test_third_party_constraint(self):
+        rule = parse_rule("||ads.example^$third-party")
+        assert rule.applies_to("pub.example", third_party=True,
+                               resource_type="image")
+        assert not rule.applies_to("ads.example", third_party=False,
+                                   resource_type="image")
+
+    def test_first_party_constraint(self):
+        rule = parse_rule("||self.example^$~third-party")
+        assert rule.applies_to("self.example", third_party=False,
+                               resource_type="image")
+        assert not rule.applies_to("other.example", third_party=True,
+                                   resource_type="image")
+
+    def test_resource_type_constraint(self):
+        rule = parse_rule("||ads.example^$image")
+        assert rule.applies_to("p.example", True, "image")
+        assert not rule.applies_to("p.example", True, "script")
+
+    def test_domain_option(self):
+        rule = parse_rule("||ads.example^$domain=news.example|~blog.news.example")
+        assert rule.applies_to("news.example", True, "image")
+        assert rule.applies_to("sub.news.example", True, "image")
+        assert not rule.applies_to("blog.news.example", True, "image")
+        assert not rule.applies_to("other.example", True, "image")
+
+
+class TestElementHiding:
+    def test_class_selector(self):
+        rule = parse_rule("##.ad-banner")
+        assert rule.matches_element("div", ("ad-banner",), "")
+        assert rule.matches_element("img", ("x", "ad-banner"), "")
+        assert not rule.matches_element("div", ("banner",), "")
+
+    def test_id_selector(self):
+        rule = parse_rule("###sidebar-ad")
+        assert rule.matches_element("div", (), "sidebar-ad")
+        assert not rule.matches_element("div", (), "sidebar")
+
+    def test_tag_with_class(self):
+        rule = parse_rule("##div.promo")
+        assert rule.matches_element("div", ("promo",), "")
+        assert not rule.matches_element("span", ("promo",), "")
+
+    def test_domain_scoping(self):
+        rule = parse_rule("news.example##.ad")
+        assert rule.applies_to("news.example")
+        assert rule.applies_to("sub.news.example")
+        assert not rule.applies_to("other.example")
+
+    def test_excluded_domain(self):
+        rule = parse_rule("~news.example##.ad")
+        assert not rule.applies_to("news.example")
+        assert rule.applies_to("other.example")
+
+    def test_empty_selector_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("example.com##")
+
+    def test_unsupported_selector_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("##div > span.x")
+
+
+class TestParseFilterList:
+    def test_splits_rule_families(self):
+        text = "\n".join([
+            "! comment",
+            "||ads.example^",
+            "@@||ok.example^",
+            "##.ad-box",
+        ])
+        network, hiding = parse_filter_list(text)
+        assert len(network) == 2
+        assert len(hiding) == 1
+
+    def test_skip_errors_mode(self):
+        text = "||good.example^\n||bad.example^$nope\n##.x"
+        with pytest.raises(RuleParseError):
+            parse_filter_list(text)
+        network, hiding = parse_filter_list(text, skip_errors=True)
+        assert len(network) == 1
+        assert len(hiding) == 1

@@ -1,0 +1,118 @@
+"""The PERCIVAL compressed fork (Figure 3 right)."""
+
+import numpy as np
+import pytest
+
+from repro.models.percivalnet import (
+    LABEL_AD,
+    LABEL_NONAD,
+    NUM_CLASSES,
+    PERCIVAL_FIRES,
+    PercivalNet,
+    build_percival_net,
+)
+from repro.nn import Conv2d, FireModule, GlobalAvgPool2d, MaxPool2d
+
+
+class TestArchitecture:
+    def test_six_fire_modules(self):
+        net = PercivalNet.paper()
+        fires = [l for l in net.layers if isinstance(l, FireModule)]
+        assert len(fires) == 6
+
+    def test_fire_channel_schedule_matches_figure3(self):
+        net = PercivalNet.paper()
+        fires = [l for l in net.layers if isinstance(l, FireModule)]
+        for fire, (squeeze, expand) in zip(fires, PERCIVAL_FIRES):
+            assert fire.squeeze_channels == squeeze
+            assert fire.expand_channels == expand
+
+    def test_pool_after_stem_and_every_two_fires(self):
+        net = PercivalNet.paper()
+        kinds = [type(l).__name__ for l in net.layers]
+        # stem conv, relu, pool, F,F, pool, F,F, pool, F,F, pool, conv, gap
+        assert kinds.count("MaxPool2d") == 4
+        pool_positions = [i for i, k in enumerate(kinds)
+                          if k == "MaxPool2d"]
+        fire_positions = [i for i, k in enumerate(kinds)
+                          if k == "FireModule"]
+        # a pool follows every second fire module
+        assert pool_positions[1] == fire_positions[1] + 1
+        assert pool_positions[2] == fire_positions[3] + 1
+        assert pool_positions[3] == fire_positions[5] + 1
+
+    def test_head_is_conv_gap(self):
+        net = PercivalNet.paper()
+        assert isinstance(net.layers[-2], Conv2d)
+        assert net.layers[-2].out_channels == NUM_CLASSES
+        assert isinstance(net.layers[-1], GlobalAvgPool2d)
+
+    def test_two_classes(self):
+        assert NUM_CLASSES == 2
+        assert LABEL_AD == 1
+        assert LABEL_NONAD == 0
+
+    def test_under_two_megabytes(self):
+        """The paper's headline claim: model size < 2 MB."""
+        net = PercivalNet.paper()
+        size_mb = sum(p.nbytes for p in net.parameters()) / 2**20
+        assert size_mb < 2.0
+
+    def test_rgba_input_default(self):
+        assert PercivalNet.paper().in_channels == 4
+
+
+class TestForward:
+    def test_paper_input_size(self):
+        net = PercivalNet.paper().eval()
+        out = net.forward(np.zeros((1, 4, 224, 224), dtype=np.float32))
+        assert out.shape == (1, 2)
+
+    def test_input_size_agnostic(self):
+        """GAP head accepts any input size — the reduced-scale lever."""
+        net = PercivalNet.small().eval()
+        for size in (32, 48, 64):
+            out = net.forward(np.zeros((2, 4, size, size),
+                                       dtype=np.float32))
+            assert out.shape == (2, 2)
+
+    def test_deterministic_given_seed(self):
+        a = PercivalNet.small(seed=3).eval()
+        b = PercivalNet.small(seed=3).eval()
+        x = np.random.default_rng(0).random((1, 4, 32, 32)).astype(
+            np.float32
+        )
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_different_seeds_differ(self):
+        a = PercivalNet.small(seed=3).eval()
+        b = PercivalNet.small(seed=4).eval()
+        x = np.random.default_rng(0).random((1, 4, 32, 32)).astype(
+            np.float32
+        )
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+
+class TestWidthScaling:
+    def test_width_shrinks_parameters(self):
+        full = PercivalNet(width=1.0, stem_stride=1)
+        quarter = PercivalNet(width=0.25, stem_stride=1)
+        full_params = sum(p.size for p in full.parameters())
+        quarter_params = sum(p.size for p in quarter.parameters())
+        assert quarter_params < full_params / 4
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            PercivalNet(width=0.0)
+
+    def test_builder_picks_stride_from_input_size(self):
+        small = build_percival_net(input_size=32)
+        large = build_percival_net(input_size=224)
+        assert small.layers[0].stride == 1
+        assert large.layers[0].stride == 2
+
+    def test_feature_indices_point_at_features(self):
+        net = PercivalNet.small()
+        assert isinstance(net.layers[net.feature_indices[0]], Conv2d)
+        for index in net.feature_indices[1:]:
+            assert isinstance(net.layers[index], FireModule)

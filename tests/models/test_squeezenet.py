@@ -1,0 +1,41 @@
+"""Stock SqueezeNet baseline."""
+
+import numpy as np
+
+from repro.models.squeezenet import SqueezeNet, build_squeezenet
+from repro.nn import FireModule
+
+
+class TestSqueezeNet:
+    def test_eight_fire_modules(self):
+        net = SqueezeNet(num_classes=10)
+        fires = [l for l in net.layers if isinstance(l, FireModule)]
+        assert len(fires) == 8
+
+    def test_output_classes(self):
+        net = SqueezeNet(num_classes=10, in_channels=3, stem_stride=1)
+        net.eval()
+        out = net.forward(np.zeros((1, 3, 48, 48), dtype=np.float32))
+        assert out.shape == (1, 10)
+
+    def test_1000_class_size_band(self):
+        """Stock SqueezeNet-1000 lands in the ~4-5 MB band the paper
+        quotes (4.8 MB)."""
+        net = build_squeezenet(num_classes=1000)
+        size_mb = sum(p.nbytes for p in net.parameters()) / 2**20
+        assert 3.0 < size_mb < 6.0
+
+    def test_bigger_than_percival_fork(self):
+        from repro.models.percivalnet import PercivalNet
+        squeezenet = build_squeezenet(num_classes=1000)
+        percival = PercivalNet.paper()
+        assert (
+            sum(p.size for p in squeezenet.parameters())
+            > 2 * sum(p.size for p in percival.parameters())
+        )
+
+    def test_builder_stride_heuristic(self):
+        small = build_squeezenet(num_classes=2, input_size=48)
+        assert small.layers[0].stride == 1
+        large = build_squeezenet(num_classes=2, input_size=224)
+        assert large.layers[0].stride == 2

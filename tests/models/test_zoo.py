@@ -1,0 +1,71 @@
+"""Model accounting and stem-transfer (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.models.percivalnet import PercivalNet
+from repro.models.zoo import (
+    SENTINEL_MODEL_BYTES,
+    describe_model,
+    model_size_bytes,
+    model_size_mb,
+    pretrain_stem,
+    transfer_stem_weights,
+)
+
+
+class TestAccounting:
+    def test_size_bytes_is_param_bytes(self):
+        net = PercivalNet.small()
+        assert model_size_bytes(net) == sum(
+            p.nbytes for p in net.parameters()
+        )
+
+    def test_mb_conversion(self):
+        net = PercivalNet.small()
+        assert model_size_mb(net) == pytest.approx(
+            model_size_bytes(net) / 2**20
+        )
+
+    def test_describe_model(self):
+        info = describe_model(PercivalNet.small(), "x")
+        assert info.name == "x"
+        assert info.num_parameters > 0
+        assert "params" in str(info)
+
+    def test_sentinel_reduction_factor(self):
+        """Paper: 'smaller by factor of 74' vs Sentinel-class models."""
+        net = PercivalNet.paper()
+        reduction = SENTINEL_MODEL_BYTES / model_size_bytes(net)
+        assert reduction > 50
+
+
+class TestStemTransfer:
+    def test_transfer_copies_matching_blocks(self):
+        donor = PercivalNet.small(seed=1)
+        target = PercivalNet.small(seed=2)
+        copied = transfer_stem_weights(donor, target, num_blocks=5)
+        assert copied == 5
+        donor_params = donor.parameters()
+        target_params = target.parameters()
+        # first conv weights now identical
+        assert np.array_equal(donor_params[0].data, target_params[0].data)
+
+    def test_transfer_skips_mismatched_shapes(self):
+        donor = PercivalNet.small(seed=1, width=0.25)
+        target = PercivalNet.small(seed=2, width=0.5)
+        copied = transfer_stem_weights(donor, target, num_blocks=5)
+        assert copied == 0  # every block differs in width
+
+    def test_later_blocks_untouched(self):
+        donor = PercivalNet.small(seed=1)
+        target = PercivalNet.small(seed=2)
+        before = [p.data.copy() for p in target.parameters()]
+        transfer_stem_weights(donor, target, num_blocks=2)
+        # the final classifier conv must not have been overwritten
+        assert np.array_equal(before[-2], target.parameters()[-2].data)
+
+    def test_pretrain_stem_learns_proxy_task(self):
+        net = PercivalNet.small(seed=0)
+        accuracy = pretrain_stem(net, seed=0, samples=64, epochs=4)
+        assert accuracy > 0.8  # ramps vs checkerboards is easy

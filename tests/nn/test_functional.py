@@ -1,0 +1,113 @@
+"""im2col/col2im and the convolution/pooling kernels vs naive loops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, w, b, stride, pad):
+    """Reference convolution: direct loops."""
+    n, c, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (width + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow), dtype=x.dtype)
+    for i in range(n):
+        for o in range(oc):
+            for y in range(oh):
+                for z in range(ow):
+                    patch = x[i, :, y * stride:y * stride + kh,
+                              z * stride:z * stride + kw]
+                    out[i, o, y, z] = (patch * w[o]).sum() + b[o]
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(224, 3, 2, 1) == 112
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float64).reshape(2, 3, 5, 5)
+        cols = F.im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 5 * 5, 3 * 3 * 3)
+
+    def test_roundtrip_sums_overlaps(self):
+        x = np.ones((1, 1, 4, 4))
+        cols = F.im2col(x, 2, 2, 1, 0)
+        back = F.col2im(cols, (1, 1, 4, 4), 2, 2, 1, 0)
+        # interior pixels belong to 4 windows, corners to 1
+        assert back[0, 0, 0, 0] == 1
+        assert back[0, 0, 1, 1] == 4
+
+    def test_stride_skips_positions(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, 2, 2, 2, 0)
+        assert cols.shape == (4, 4)
+        assert cols[0].tolist() == [0, 1, 4, 5]
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, pad):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        ours, _ = F.conv2d_forward(x, w, b, stride, pad)
+        ref = naive_conv2d(x, w, b, stride, pad)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_1x1_conv(self, rng):
+        x = rng.standard_normal((1, 8, 5, 5))
+        w = rng.standard_normal((2, 8, 1, 1))
+        b = np.zeros(2)
+        ours, _ = F.conv2d_forward(x, w, b, 1, 0)
+        ref = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        assert np.allclose(ours, ref, atol=1e-10)
+
+
+class TestMaxPool:
+    def test_matches_naive(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        out, _ = F.maxpool2d_forward(x, 2, 2)
+        ref = x.reshape(2, 3, 3, 2, 3, 2).max(axis=(3, 5))
+        assert np.allclose(out, ref)
+
+    def test_overlapping_windows(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        out, _ = F.maxpool2d_forward(x, 3, 2)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_backward_routes_to_argmax(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out, argmax = F.maxpool2d_forward(x, 2, 2)
+        grad = F.maxpool2d_backward(
+            np.ones_like(out), argmax, x.shape, 2, 2
+        )
+        assert grad[0, 0, 1, 1] == 1.0
+        assert grad.sum() == 1.0
+
+
+class TestAvgPool:
+    def test_forward_mean(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        out = F.avgpool2d_forward(x, 2, 2)
+        ref = x.reshape(2, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        assert np.allclose(out, ref)
+
+    def test_backward_spreads_uniformly(self):
+        x = np.zeros((1, 1, 2, 2))
+        out = F.avgpool2d_forward(x, 2, 2)
+        grad = F.avgpool2d_backward(np.ones_like(out), x.shape, 2, 2)
+        assert np.allclose(grad, 0.25)

@@ -1,0 +1,190 @@
+"""Layer semantics beyond gradients: shapes, modes, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Dropout,
+    FireModule,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer.forward(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+
+    def test_non_nchw_raises(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 8, 6, 6)))
+
+    def test_invalid_geometry_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d(0, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, 0, rng=rng)
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, 3, stride=0, rng=rng)
+
+    def test_parameter_accounting(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, rng=rng)
+        assert layer.num_parameters() == 3 * 8 * 9 + 8
+        assert layer.parameter_bytes() == layer.num_parameters() * 4
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.training = False
+        x = np.ones((4, 4), dtype=np.float32)
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_train_mode_zeroes_some(self):
+        layer = Dropout(0.5, seed=0)
+        layer.training = True
+        x = np.ones((100, 100), dtype=np.float32)
+        out = layer.forward(x)
+        zero_fraction = (out == 0).mean()
+        assert 0.3 < zero_fraction < 0.7
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.5, seed=1)
+        layer.training = True
+        x = np.ones((200, 200), dtype=np.float32)
+        out = layer.forward(x)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestGlobalAvgPool:
+    def test_reduces_spatial(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float32).reshape(2, 3, 4, 4)
+        out = GlobalAvgPool2d().forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out[0, 0], x[0, 0].mean())
+
+    def test_input_size_agnostic(self):
+        layer = GlobalAvgPool2d()
+        for size in (2, 4, 7):
+            out = layer.forward(np.ones((1, 2, size, size),
+                                        dtype=np.float32))
+            assert out.shape == (1, 2)
+
+
+class TestFireModule:
+    def test_output_channels(self, rng):
+        fire = FireModule(16, 4, 32, rng=rng)
+        out = fire.forward(np.zeros((1, 16, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 32, 8, 8)
+
+    def test_odd_expand_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FireModule(16, 4, 33, rng=rng)
+
+    def test_squeeze_reduces_channels(self, rng):
+        fire = FireModule(64, 8, 64, rng=rng)
+        assert fire.squeeze.out_channels == 8
+        assert fire.expand1x1.in_channels == 8
+        assert fire.expand3x3.in_channels == 8
+
+    def test_parameters_cover_all_convs(self, rng):
+        fire = FireModule(16, 4, 32, rng=rng)
+        assert len(fire.parameters()) == 6  # 3 convs x (weight, bias)
+
+    def test_output_nonnegative_after_relu(self, rng):
+        fire = FireModule(4, 2, 8, rng=rng)
+        out = fire.forward(
+            rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        )
+        assert (out >= 0).all()
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential([Dropout(0.5), Identity()])
+        net.eval()
+        assert not net.layers[0].training
+        net.train()
+        assert net.layers[0].training
+
+    def test_capture_records_activation(self, rng):
+        net = Sequential([
+            Conv2d(1, 2, 1, rng=rng),
+            ReLU(),
+            GlobalAvgPool2d(),
+        ])
+        net.capture([1])
+        out = net.forward(np.ones((1, 1, 3, 3), dtype=np.float32))
+        captured = net.captured(1)
+        assert captured is not None
+        assert captured.shape == (1, 2, 3, 3)
+        assert net.captured(0) is None
+        assert out.shape == (1, 2)
+
+    def test_backward_from_layer(self, rng):
+        net = Sequential([
+            Conv2d(1, 2, 1, rng=rng),
+            ReLU(),
+            GlobalAvgPool2d(),
+        ])
+        out = net.forward(np.ones((1, 1, 3, 3), dtype=np.float32))
+        grad = net.backward_from(np.ones_like(out), 1)
+        assert grad.shape == (1, 2, 3, 3)
+
+    def test_backward_from_out_of_range(self, rng):
+        net = Sequential([Identity()])
+        with pytest.raises(IndexError):
+            net.backward_from(np.zeros(1), 5)
+
+    def test_summary_lists_layers(self, rng):
+        net = Sequential([Conv2d(1, 1, 1, rng=rng), ReLU()], name="t")
+        text = net.summary()
+        assert "Conv2d" in text
+        assert "total params" in text
+
+    def test_getitem_and_len(self, rng):
+        net = Sequential([Identity(), ReLU()])
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+
+
+class TestLinear:
+    def test_shape_validation(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 4, 1), dtype=np.float32))
+
+    def test_affine_correctness(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        out = layer.forward(x)
+        ref = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out, ref)

@@ -1,0 +1,65 @@
+"""Softmax and cross-entropy behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        logits = rng.standard_normal((5, 3))
+        probs = softmax(logits, axis=1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_numerically_stable_at_large_logits(self):
+        logits = np.array([[1000.0, 1000.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs, [[0.5, 0.5]])
+        assert np.isfinite(probs).all()
+
+    def test_invariant_to_shift(self, rng):
+        logits = rng.standard_normal((2, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_ordering_preserved(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs[0, 0] < probs[0, 1] < probs[0, 2]
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        loss, _ = loss_fn.forward(
+            np.array([[10.0, -10.0]]), np.array([0])
+        )
+        assert loss < 1e-4
+
+    def test_uniform_prediction_log_n(self):
+        loss_fn = SoftmaxCrossEntropy()
+        loss, _ = loss_fn.forward(
+            np.zeros((3, 4)), np.array([0, 1, 2])
+        )
+        assert loss == pytest.approx(np.log(4), rel=1e-6)
+
+    def test_batch_size_mismatch_raises(self):
+        loss_fn = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss_fn.forward(np.zeros((2, 3)), np.array([0]))
+
+    def test_bad_logit_rank_raises(self):
+        loss_fn = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss_fn.forward(np.zeros(3), np.array([0]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_backward_mean_scaled(self):
+        loss_fn = SoftmaxCrossEntropy()
+        loss_fn.forward(np.zeros((4, 2)), np.array([0, 0, 1, 1]))
+        grad = loss_fn.backward()
+        # grad rows sum to zero; magnitude scaled by 1/batch
+        assert np.allclose(grad.sum(axis=1), 0.0)
+        assert np.abs(grad).max() <= 0.5 / 4 + 1e-9

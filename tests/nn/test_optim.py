@@ -1,0 +1,97 @@
+"""SGD with momentum and step learning-rate decay (the §4.3 recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, StepLR
+from repro.nn.tensor import Parameter
+
+
+def _param(value):
+    return Parameter(np.array(value, dtype=np.float64), name="p")
+
+
+class TestSGD:
+    def test_plain_gradient_step(self):
+        p = _param([1.0])
+        optimizer = SGD([p], lr=0.1, momentum=0.0)
+        p.grad[...] = 2.0
+        optimizer.step()
+        assert np.allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        optimizer = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[...] = 1.0
+        optimizer.step()   # v = -0.1
+        first = p.data.copy()
+        p.grad[...] = 1.0
+        optimizer.step()   # v = -0.9*0.1 - 0.1 = -0.19
+        second_step = p.data - first
+        assert second_step < -0.1  # bigger than the plain step
+
+    def test_zero_grad_clears(self):
+        p = _param([1.0])
+        optimizer = SGD([p], lr=0.1)
+        p.grad[...] = 5.0
+        optimizer.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = _param([1.0])
+        optimizer = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        p.grad[...] = 0.0
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_validation(self):
+        p = _param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        # minimize (x - 3)^2 — a sanity check of the whole update rule
+        # (momentum rings around the optimum, so allow a loose landing)
+        p = _param([0.0])
+        optimizer = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            optimizer.zero_grad()
+            p.grad[...] = 2 * (p.data - 3.0)
+            optimizer.step()
+        assert abs(p.data[0] - 3.0) < 0.01
+
+
+class TestStepLR:
+    def test_paper_schedule(self):
+        # lr 0.001, x0.1 every 30 epochs (§4.3)
+        p = _param([0.0])
+        optimizer = SGD([p], lr=0.001)
+        scheduler = StepLR(optimizer, step_epochs=30, gamma=0.1)
+        for _ in range(29):
+            scheduler.epoch_end()
+        assert optimizer.lr == pytest.approx(0.001)
+        scheduler.epoch_end()  # epoch 30
+        assert optimizer.lr == pytest.approx(0.0001)
+        for _ in range(30):
+            scheduler.epoch_end()
+        assert optimizer.lr == pytest.approx(0.00001)
+
+    def test_gamma_one_never_decays(self):
+        p = _param([0.0])
+        optimizer = SGD([p], lr=0.01)
+        scheduler = StepLR(optimizer, step_epochs=1, gamma=1.0)
+        for _ in range(10):
+            scheduler.epoch_end()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_validation(self):
+        p = _param([0.0])
+        optimizer = SGD([p], lr=0.01)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_epochs=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, gamma=0.0)

@@ -1,0 +1,77 @@
+"""Weight save/load round trips and transfer-learning partial loads."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, GlobalAvgPool2d, ReLU, Sequential
+from repro.nn.serialization import load_weights, save_weights
+
+
+def _net(rng, out_channels=2):
+    return Sequential([
+        Conv2d(1, 4, 3, padding=1, rng=rng, name="c1"),
+        ReLU(),
+        Conv2d(4, out_channels, 1, rng=rng, name="c2"),
+        GlobalAvgPool2d(),
+    ])
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, rng, tmp_path):
+        net = _net(rng)
+        path = str(tmp_path / "weights.npz")
+        count = save_weights(net, path)
+        assert count == 4  # 2 convs x (weight, bias)
+
+        other = _net(np.random.default_rng(999))
+        load_weights(other, path)
+        for a, b in zip(net.parameters(), other.parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_outputs_identical_after_load(self, rng, tmp_path):
+        net = _net(rng)
+        path = str(tmp_path / "w.npz")
+        save_weights(net, path)
+        other = _net(np.random.default_rng(1))
+        load_weights(other, path)
+        x = rng.standard_normal((1, 1, 6, 6)).astype(np.float32)
+        assert np.allclose(net.forward(x), other.forward(x))
+
+    def test_creates_directories(self, rng, tmp_path):
+        net = _net(rng)
+        path = str(tmp_path / "deep" / "nested" / "w.npz")
+        save_weights(net, path)
+        load_weights(net, path)
+
+
+class TestStrictness:
+    def test_count_mismatch_strict_raises(self, rng, tmp_path):
+        net = _net(rng)
+        path = str(tmp_path / "w.npz")
+        save_weights(net, path)
+        small = Sequential([Conv2d(1, 4, 3, padding=1, rng=rng)])
+        with pytest.raises(ValueError):
+            load_weights(small, path)
+
+    def test_shape_mismatch_strict_raises(self, rng, tmp_path):
+        net = _net(rng, out_channels=2)
+        path = str(tmp_path / "w.npz")
+        save_weights(net, path)
+        different = _net(rng, out_channels=3)
+        with pytest.raises(ValueError):
+            load_weights(different, path)
+
+    def test_partial_load_non_strict(self, rng, tmp_path):
+        net = _net(rng, out_channels=2)
+        path = str(tmp_path / "w.npz")
+        save_weights(net, path)
+        target = _net(np.random.default_rng(5), out_channels=3)
+        loaded = load_weights(target, path, strict=False)
+        # first conv transfers, second conv (different shape) does not
+        assert loaded == 2
+        assert np.array_equal(
+            target.parameters()[0].data, net.parameters()[0].data
+        )
+        assert not np.array_equal(
+            target.parameters()[2].data, net.parameters()[2].data
+        )

@@ -1,0 +1,108 @@
+"""Training-loop behaviour on small learnable problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    ReLU,
+    Sequential,
+    TrainConfig,
+    Trainer,
+)
+
+
+def _toy_problem(rng, n=64, size=8):
+    """Bright-vs-dark images: learnable by any conv net in a few epochs."""
+    images = np.empty((n, 1, size, size), dtype=np.float32)
+    labels = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        if i % 2 == 0:
+            images[i] = rng.uniform(0.6, 1.0, (1, size, size))
+            labels[i] = 1
+        else:
+            images[i] = rng.uniform(0.0, 0.4, (1, size, size))
+            labels[i] = 0
+    return images, labels
+
+
+def _small_net(rng):
+    return Sequential([
+        Conv2d(1, 4, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2d(4, 2, 1, rng=rng),
+        GlobalAvgPool2d(),
+    ])
+
+
+class TestTrainer:
+    def test_learns_toy_problem(self, rng):
+        images, labels = _toy_problem(rng)
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=12, lr=0.05, seed=0))
+        report = trainer.fit(images, labels)
+        assert report.final_train_accuracy > 0.85
+
+    def test_loss_decreases(self, rng):
+        images, labels = _toy_problem(rng)
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=6, lr=0.05, seed=0))
+        report = trainer.fit(images, labels)
+        assert report.epochs[-1].loss < report.epochs[0].loss
+
+    def test_validation_tracked(self, rng):
+        images, labels = _toy_problem(rng)
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=2, lr=0.05, seed=0))
+        report = trainer.fit(images, labels, images[:16], labels[:16])
+        assert report.final_val_accuracy is not None
+        assert 0.0 <= report.final_val_accuracy <= 1.0
+
+    def test_deterministic_given_seed(self, rng):
+        images, labels = _toy_problem(rng)
+        results = []
+        for _ in range(2):
+            net = _small_net(np.random.default_rng(3))
+            trainer = Trainer(net, TrainConfig(epochs=2, lr=0.05, seed=9))
+            report = trainer.fit(images, labels)
+            results.append(report.final_loss)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_shape_validation(self, rng):
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 1, 8, 8), dtype=np.float32),
+                        np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 8, 8), dtype=np.float32),
+                        np.zeros(4, dtype=np.int64))
+
+    def test_predict_batched(self, rng):
+        images, labels = _toy_problem(rng, n=32)
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=1, lr=0.05))
+        trainer.fit(images, labels)
+        predictions = trainer.predict(images, batch_size=7)
+        assert predictions.shape == (32,)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_network_left_in_eval_mode(self, rng):
+        images, labels = _toy_problem(rng, n=16)
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=1))
+        trainer.fit(images, labels)
+        assert all(not layer.training for layer in net.layers)
+
+    def test_empty_predict(self, rng):
+        net = _small_net(rng)
+        trainer = Trainer(net, TrainConfig(epochs=1))
+        out = trainer.predict(np.zeros((0, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (0,)
+
+    def test_report_nan_when_untrained(self):
+        from repro.nn.trainer import TrainReport
+        report = TrainReport()
+        assert np.isnan(report.final_loss)
+        assert report.final_val_accuracy is None

@@ -1,0 +1,68 @@
+"""Property-based tests of the filter engine."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.filterlist.engine import FilterEngine
+from repro.filterlist.matcher import best_token, rule_tokens
+from repro.filterlist.rules import parse_rule
+
+_domain_label = st.text(
+    alphabet=string.ascii_lowercase + string.digits, min_size=3,
+    max_size=10,
+).filter(lambda s: not s[0].isdigit())
+
+_domains = st.builds(lambda a, b: f"{a}.{b}", _domain_label,
+                     st.sampled_from(["example", "test", "invalid"]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(domain=_domains)
+def test_domain_anchor_always_matches_own_domain(domain):
+    rule = parse_rule(f"||{domain}^")
+    assert rule.matches_url(f"https://{domain}/anything.png")
+    assert rule.matches_url(f"https://sub.{domain}/x")
+
+
+@settings(max_examples=40, deadline=None)
+@given(domain=_domains, prefix=_domain_label)
+def test_domain_anchor_never_matches_lookalike(domain, prefix):
+    rule = parse_rule(f"||{domain}^")
+    assert not rule.matches_url(f"https://{prefix}{domain}.evil/x")
+
+
+@settings(max_examples=40, deadline=None)
+@given(domain=_domains)
+def test_exception_always_wins(domain):
+    """For any domain, a block rule + identical exception = allowed."""
+    engine = FilterEngine.from_text(
+        f"||{domain}^\n@@||{domain}^"
+    )
+    decision = engine.check_request(
+        f"https://{domain}/img.png", "publisher.example"
+    )
+    assert not decision.blocked
+    assert decision.exception is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.text(
+    alphabet=string.ascii_lowercase + "*^|./", min_size=1, max_size=20,
+))
+def test_tokenizer_never_crashes_and_tokens_in_pattern(pattern):
+    tokens = rule_tokens(pattern)
+    for token in tokens:
+        assert token in pattern.lower()
+    best = best_token(pattern)
+    assert best == "" or best in tokens
+
+
+@settings(max_examples=30, deadline=None)
+@given(domain=_domains)
+def test_engine_block_decision_idempotent(domain):
+    engine = FilterEngine.from_text(f"||{domain}^")
+    url = f"https://{domain}/x.png"
+    first = engine.check_request(url, "pub.example").blocked
+    second = engine.check_request(url, "pub.example").blocked
+    assert first == second

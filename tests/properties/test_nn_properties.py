@@ -1,0 +1,89 @@
+"""Property-based tests of the NN kernels (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.loss import softmax
+
+_dims = st.integers(min_value=1, max_value=4)
+_sizes = st.integers(min_value=3, max_value=9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=_dims, channels=_dims, size=_sizes,
+    kernel=st.integers(1, 3), stride=st.integers(1, 2),
+    seed=st.integers(0, 10_000),
+)
+def test_conv_shape_formula_holds(batch, channels, size, kernel, stride,
+                                  seed):
+    """conv2d output shape always matches the formula for any geometry
+    where the formula yields a positive extent."""
+    pad = kernel // 2
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, channels, size, size))
+    w = rng.standard_normal((2, channels, kernel, kernel))
+    b = np.zeros(2)
+    out, _ = F.conv2d_forward(x, w, b, stride, pad)
+    expected = F.conv_output_size(size, kernel, stride, pad)
+    assert out.shape == (batch, 2, expected, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(2, 8), kernel=st.integers(1, 2),
+    seed=st.integers(0, 10_000),
+)
+def test_maxpool_upper_bounds_avgpool(size, kernel, seed):
+    """max over a window is always >= mean over the same window."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 2, size * kernel, size * kernel))
+    max_out, _ = F.maxpool2d_forward(x, kernel, kernel)
+    avg_out = F.avgpool2d_forward(x, kernel, kernel)
+    assert (max_out >= avg_out - 1e-12).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 6), cols=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+    scale=st.floats(0.1, 100.0),
+)
+def test_softmax_is_distribution(rows, cols, seed, scale):
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((rows, cols)) * scale
+    probs = softmax(logits, axis=1)
+    assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+    assert (probs >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(4, 10), seed=st.integers(0, 10_000),
+)
+def test_col2im_adjoint_of_im2col(size, seed):
+    """<im2col(x), y> == <x, col2im(y)> — the adjoint identity that
+    guarantees the conv backward pass is the true gradient."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 2, size, size))
+    cols = F.im2col(x, 3, 3, 1, 1)
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    x_back = F.col2im(y, x.shape, 3, 3, 1, 1)
+    rhs = float((x * x_back).sum())
+    assert np.isclose(lhs, rhs, rtol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_global_avgpool_invariant_to_spatial_shuffle(seed):
+    """GAP is permutation-invariant over spatial positions."""
+    from repro.nn import GlobalAvgPool2d
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 3, 4, 4))
+    flat = x.reshape(1, 3, -1)
+    permutation = rng.permutation(16)
+    shuffled = flat[:, :, permutation].reshape(1, 3, 4, 4)
+    gap = GlobalAvgPool2d()
+    assert np.allclose(gap.forward(x), gap.forward(shuffled))

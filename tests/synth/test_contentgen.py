@@ -1,0 +1,71 @@
+"""Non-ad content generator."""
+
+import numpy as np
+import pytest
+
+from repro.synth.contentgen import (
+    ContentKind,
+    generate_content,
+    sample_kind,
+)
+from repro.synth.languages import Language
+from repro.utils.rng import spawn_rng
+
+
+class TestGenerateContent:
+    @pytest.mark.parametrize("kind", list(ContentKind))
+    def test_every_kind_renders(self, rng, kind):
+        img = generate_content(rng, kind=kind)
+        assert img.ndim == 3 and img.shape[2] == 4
+        assert img.dtype == np.float32
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_random_kind_when_unspecified(self, rng):
+        img = generate_content(rng)
+        assert img.size > 0
+
+    def test_deterministic_under_seeded_rng(self):
+        a = generate_content(spawn_rng(3, "c"), kind=ContentKind.PHOTO)
+        b = generate_content(spawn_rng(3, "c"), kind=ContentKind.PHOTO)
+        assert np.array_equal(a, b)
+
+    def test_ad_intent_adds_commercial_cues(self):
+        """High ad-intent content carries more saturated-red CTA pixels
+        on average (the brand-page false-positive mechanism)."""
+        def red_mass(img):
+            return float(
+                ((img[..., 0] > 0.6) & (img[..., 1] < 0.45)).mean()
+            )
+
+        plain = np.mean([
+            red_mass(generate_content(
+                spawn_rng(i, "p"), kind=ContentKind.PRODUCT_SHOT,
+                ad_intent=0.0,
+            )) for i in range(20)
+        ])
+        intent = np.mean([
+            red_mass(generate_content(
+                spawn_rng(i, "q"), kind=ContentKind.PRODUCT_SHOT,
+                ad_intent=1.0,
+            )) for i in range(20)
+        ])
+        assert intent > plain
+
+    def test_language_affects_text_rendering(self, rng):
+        img = generate_content(
+            rng, kind=ContentKind.SCREENSHOT, language=Language.CHINESE
+        )
+        assert img.size > 0
+
+
+class TestSampleKind:
+    def test_photo_dominates(self, rng):
+        counts = {}
+        for _ in range(500):
+            kind = sample_kind(rng)
+            counts[kind] = counts.get(kind, 0) + 1
+        assert max(counts, key=counts.get) is ContentKind.PHOTO
+
+    def test_all_kinds_reachable(self, rng):
+        seen = {sample_kind(rng) for _ in range(2000)}
+        assert seen == set(ContentKind)

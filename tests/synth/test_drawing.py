@@ -1,0 +1,144 @@
+"""Raster primitives."""
+
+import numpy as np
+import pytest
+
+from repro.synth import drawing
+
+
+class TestBlank:
+    def test_shape_and_alpha(self):
+        img = drawing.blank(10, 20)
+        assert img.shape == (10, 20, 4)
+        assert (img[..., 3] == 1.0).all()
+        assert img.dtype == np.float32
+
+    def test_color_fill(self):
+        img = drawing.blank(4, 4, (0.5, 0.25, 0.75))
+        assert np.allclose(img[0, 0, :3], [0.5, 0.25, 0.75])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            drawing.blank(0, 5)
+
+
+class TestFillRect:
+    def test_fills_exact_region(self):
+        img = drawing.blank(10, 10, (1, 1, 1))
+        drawing.fill_rect(img, 2, 3, 4, 5, (0, 0, 0))
+        assert (img[3:8, 2:6, :3] == 0).all()
+        assert (img[0, 0, :3] == 1).all()
+
+    def test_clips_out_of_bounds(self):
+        img = drawing.blank(4, 4)
+        drawing.fill_rect(img, -5, -5, 100, 100, (0, 0, 0))
+        assert (img[..., :3] == 0).all()
+
+    def test_fully_outside_is_noop(self):
+        img = drawing.blank(4, 4)
+        drawing.fill_rect(img, 100, 100, 5, 5, (0, 0, 0))
+        assert (img[..., :3] == 1).all()
+
+    def test_alpha_blend(self):
+        img = drawing.blank(2, 2, (1, 1, 1))
+        drawing.fill_rect(img, 0, 0, 2, 2, (0, 0, 0), alpha=0.5)
+        assert np.allclose(img[..., :3], 0.5)
+
+
+class TestGradientAndNoise:
+    def test_vertical_gradient_endpoints(self):
+        img = drawing.blank(10, 4)
+        drawing.linear_gradient(img, (0, 0, 0), (1, 1, 1), vertical=True)
+        assert np.allclose(img[0, 0, :3], 0.0)
+        assert np.allclose(img[-1, 0, :3], 1.0)
+
+    def test_horizontal_gradient(self):
+        img = drawing.blank(4, 10)
+        drawing.linear_gradient(img, (0, 0, 0), (1, 1, 1), vertical=False)
+        assert np.allclose(img[0, 0, :3], 0.0)
+        assert np.allclose(img[0, -1, :3], 1.0)
+
+    def test_noise_stays_in_range(self, rng):
+        img = drawing.blank(16, 16, (0.5, 0.5, 0.5))
+        drawing.add_noise(img, rng, sigma=0.5)
+        assert img[..., :3].min() >= 0.0
+        assert img[..., :3].max() <= 1.0
+
+    def test_zero_sigma_noop(self, rng):
+        img = drawing.blank(4, 4, (0.3, 0.3, 0.3))
+        before = img.copy()
+        drawing.add_noise(img, rng, sigma=0.0)
+        assert np.array_equal(img, before)
+
+
+class TestShapes:
+    def test_circle_center_filled(self):
+        img = drawing.blank(11, 11)
+        drawing.draw_circle(img, 5, 5, 3, (0, 0, 0))
+        assert (img[5, 5, :3] == 0).all()
+        assert (img[0, 0, :3] == 1).all()
+
+    def test_border_frames_canvas(self):
+        img = drawing.blank(10, 10)
+        drawing.draw_border(img, 1, (0, 0, 0))
+        assert (img[0, :, :3] == 0).all()
+        assert (img[-1, :, :3] == 0).all()
+        assert (img[:, 0, :3] == 0).all()
+        assert (img[5, 5, :3] == 1).all()
+
+    def test_smooth_blobs_low_frequency(self, rng):
+        img = drawing.smooth_blobs(32, 32, rng, scale=6.0)
+        # adjacent-pixel differences should be small (smooth field)
+        dx = np.abs(np.diff(img[..., 0], axis=0)).mean()
+        assert dx < 0.05
+
+
+class TestTextAndCues:
+    def test_glyph_row_draws_dark_pixels(self, rng):
+        img = drawing.blank(10, 40)
+        drawing.glyph_row(img, 2, 3, 35, 3, rng, (0, 0, 0))
+        region = img[3:6, 2:37, :3]
+        assert (region < 0.5).any()
+
+    def test_text_block_multiple_lines(self, rng):
+        img = drawing.blank(30, 40)
+        drawing.text_block(img, 2, 2, 36, 4, rng, glyph_height=3)
+        assert (img[..., :3] < 0.5).sum() > 20
+
+    def test_adchoices_marker_in_top_right(self, rng):
+        img = drawing.blank(40, 40, (0.2, 0.6, 0.2))
+        drawing.adchoices_marker(img, rng)
+        corner = img[:14, 26:, :3]
+        rest_mean = img[20:, :20, :3].mean()
+        assert abs(corner.mean() - rest_mean) > 0.05
+
+    def test_cta_button_lower_half(self, rng):
+        img = drawing.blank(40, 60, (1, 1, 1))
+        drawing.cta_button(img, rng, color=(1, 0, 0))
+        lower = img[24:, :, 0] - img[24:, :, 1]
+        assert lower.max() > 0.5  # red pixels appeared below midline
+
+
+class TestResize:
+    def test_exact_size(self, rng):
+        img = rng.random((30, 50, 4)).astype(np.float32)
+        out = drawing.resize_bitmap(img, 32, 32)
+        assert out.shape == (32, 32, 4)
+
+    def test_identity_when_same_size(self, rng):
+        img = rng.random((16, 16, 4)).astype(np.float32)
+        out = drawing.resize_bitmap(img, 16, 16)
+        assert np.allclose(out, img)
+        assert out is not img  # defensive copy
+
+    def test_upscale_and_downscale(self, rng):
+        img = rng.random((8, 8, 4)).astype(np.float32)
+        assert drawing.resize_bitmap(img, 32, 32).shape == (32, 32, 4)
+        big = rng.random((100, 60, 4)).astype(np.float32)
+        assert drawing.resize_bitmap(big, 16, 24).shape == (16, 24, 4)
+
+    def test_output_in_range(self, rng):
+        img = rng.random((20, 20, 4)).astype(np.float32)
+        out = drawing.resize_bitmap(img, 7, 13)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0

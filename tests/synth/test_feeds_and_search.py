@@ -1,0 +1,115 @@
+"""Facebook feed, image search, and external dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.synth.external import ExternalConfig, ExternalDataset
+from repro.synth.facebook import FacebookFeed, FeedConfig
+from repro.synth.search import (
+    ADJUDICATED_QUERIES,
+    ImageSearch,
+    QUERY_AD_INTENT,
+)
+
+
+class TestFacebookFeed:
+    def test_session_size(self):
+        feed = FacebookFeed(FeedConfig(seed=1, items_per_session=40))
+        assert len(feed.session(0)) == 40
+
+    def test_sessions_deterministic(self):
+        feed = FacebookFeed(FeedConfig(seed=1))
+        a = feed.session(3)
+        b = feed.session(3)
+        assert [i.seed for i in a] == [i.seed for i in b]
+
+    def test_days_differ(self):
+        feed = FacebookFeed(FeedConfig(seed=1))
+        assert ([i.seed for i in feed.session(0)]
+                != [i.seed for i in feed.session(1)])
+
+    def test_ad_ground_truth_per_kind(self):
+        feed = FacebookFeed(FeedConfig(seed=2))
+        for item in feed.session(0):
+            if item.kind in ("right_column_ad", "sponsored_post"):
+                assert item.is_ad
+            else:
+                assert not item.is_ad
+
+    def test_ad_fraction_near_paper(self):
+        """Paper: 354 ads / 2184 items ≈ 16%."""
+        feed = FacebookFeed(FeedConfig(seed=3))
+        items = [i for day in feed.browse(10) for i in day]
+        fraction = sum(i.is_ad for i in items) / len(items)
+        assert 0.10 < fraction < 0.24
+
+    def test_sponsored_cue_below_right_column(self):
+        feed = FacebookFeed(FeedConfig(seed=4))
+        items = [i for day in feed.browse(5) for i in day]
+        sponsored = [i.cue_strength for i in items
+                     if i.kind == "sponsored_post"]
+        right = [i.cue_strength for i in items
+                 if i.kind == "right_column_ad"]
+        assert np.mean(sponsored) < np.mean(right)
+
+    def test_items_render(self):
+        feed = FacebookFeed(FeedConfig(seed=5))
+        for item in feed.session(0)[:8]:
+            img = item.render()
+            assert img.ndim == 3 and img.shape[2] == 4
+
+
+class TestImageSearch:
+    def test_result_count(self):
+        search = ImageSearch(seed=0)
+        assert len(search.results("Obama", 50)) == 50
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            ImageSearch().results("Quokkas")
+
+    def test_ad_intent_ordering(self):
+        """'Advertisement' results are mostly ads; 'Obama' mostly not."""
+        search = ImageSearch(seed=0)
+        high = sum(r.is_ad for r in search.results("Advertisement", 100))
+        low = sum(r.is_ad for r in search.results("Obama", 100))
+        assert high > 85
+        assert low < 20
+
+    def test_adjudicated_queries_known(self):
+        for query in ADJUDICATED_QUERIES:
+            assert query in QUERY_AD_INTENT
+
+    def test_deterministic(self):
+        a = ImageSearch(seed=1).results("Shoes", 20)
+        b = ImageSearch(seed=1).results("Shoes", 20)
+        assert [r.is_ad for r in a] == [r.is_ad for r in b]
+
+    def test_results_render(self):
+        for result in ImageSearch(seed=2).results("Coffee", 5):
+            assert result.render().size > 0
+
+
+class TestExternalDataset:
+    def test_sample_size(self):
+        assert len(ExternalDataset().sample(100)) == 100
+
+    def test_label_noise_rate(self):
+        config = ExternalConfig(seed=0, label_noise=0.1)
+        samples = ExternalDataset(config).sample(2000)
+        flipped = sum(s.annotated_ad != s.truly_ad for s in samples)
+        assert 0.06 < flipped / 2000 < 0.14
+
+    def test_balanced_ad_fraction(self):
+        samples = ExternalDataset(ExternalConfig(seed=1)).sample(1000)
+        ads = sum(s.truly_ad for s in samples)
+        assert 400 < ads < 600
+
+    def test_deterministic(self):
+        a = ExternalDataset(ExternalConfig(seed=2)).sample(50)
+        b = ExternalDataset(ExternalConfig(seed=2)).sample(50)
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+    def test_samples_render(self):
+        for sample in ExternalDataset().sample(6):
+            assert sample.render().size > 0

@@ -1,0 +1,126 @@
+"""Synthetic web generator."""
+
+import numpy as np
+import pytest
+
+from repro.synth.webgen import (
+    AD_NETWORKS,
+    Page,
+    SyntheticWeb,
+    WebConfig,
+    url_registry,
+)
+from repro.synth.languages import Language
+
+
+@pytest.fixture(scope="module")
+def web():
+    return SyntheticWeb(WebConfig(seed=11, num_sites=20))
+
+
+class TestSites:
+    def test_site_count(self, web):
+        assert len(web.sites()) == 20
+
+    def test_ranks_sequential(self, web):
+        assert [s.rank for s in web.top_sites(5)] == [1, 2, 3, 4, 5]
+
+    def test_domains_unique(self, web):
+        domains = [s.domain for s in web.sites()]
+        assert len(set(domains)) == len(domains)
+
+
+class TestPages:
+    def test_deterministic_rebuild(self, web):
+        site = web.top_sites(1)[0]
+        a = web.build_page(site, 0)
+        b = web.build_page(site, 0)
+        assert a.html == b.html
+        assert [e.url for e in a.elements] == [e.url for e in b.elements]
+
+    def test_different_pages_differ(self, web):
+        site = web.top_sites(1)[0]
+        assert web.build_page(site, 0).html != web.build_page(site, 1).html
+
+    def test_element_counts_in_config_range(self, web):
+        config = web.config
+        page = web.build_page(web.top_sites(1)[0])
+        images = page.image_elements()
+        assert (config.images_per_page[0] <= len(images)
+                <= config.images_per_page[1])
+
+    def test_html_contains_elements(self, web):
+        page = web.build_page(web.top_sites(1)[0])
+        for element in page.image_elements()[:3]:
+            assert element.url in page.html
+
+    def test_iter_pages_yields_requested(self, web):
+        pages = list(web.iter_pages(web.top_sites(3), pages_per_site=2))
+        assert len(pages) == 6
+
+
+class TestAdElements:
+    def test_ad_fraction_near_config(self):
+        web = SyntheticWeb(WebConfig(seed=3, num_sites=30))
+        total = ads = 0
+        for page in web.iter_pages(web.top_sites(30), 1):
+            for element in page.image_elements():
+                total += 1
+                ads += element.is_ad
+        assert abs(ads / total - web.config.ad_image_fraction) < 0.06
+
+    def test_ads_have_specs(self, web):
+        for page in web.iter_pages(web.top_sites(5), 1):
+            for element in page.ad_elements():
+                if element.url:
+                    assert element.ad_spec is not None
+
+    def test_third_party_ads_use_network_domains(self, web):
+        network_domains = {n.domain for n in AD_NETWORKS}
+        for page in web.iter_pages(web.top_sites(5), 1):
+            for element in page.ad_elements():
+                if element.third_party:
+                    host = element.url.split("/")[2]
+                    assert host in network_domains
+
+    def test_campaign_pool_creates_repeats(self):
+        web = SyntheticWeb(WebConfig(seed=5, num_sites=30,
+                                     campaign_pool_size=10))
+        urls = []
+        for page in web.iter_pages(web.top_sites(30), 1):
+            urls.extend(
+                e.url for e in page.ad_elements() if e.third_party
+            )
+        assert len(set(urls)) < len(urls)  # creatives recur
+
+    def test_element_render_deterministic(self, web):
+        page = web.build_page(web.top_sites(1)[0])
+        element = page.image_elements()[0]
+        assert np.array_equal(element.render(), element.render())
+
+
+class TestLanguageWebs:
+    def test_language_propagates(self):
+        web = SyntheticWeb(WebConfig(seed=2, num_sites=3,
+                                     language=Language.KOREAN,
+                                     language_shift=0.7))
+        page = web.build_page(web.top_sites(1)[0])
+        assert page.language is Language.KOREAN
+        for element in page.elements:
+            assert element.language is Language.KOREAN
+
+
+class TestUrlRegistry:
+    def test_registry_covers_all_resources(self, web):
+        pages = list(web.iter_pages(web.top_sites(3), 1))
+        registry = url_registry(pages)
+        for page in pages:
+            for element in page.image_elements():
+                assert element.url in registry
+
+    def test_duplicate_urls_keep_first(self, web):
+        pages = list(web.iter_pages(web.top_sites(10), 1))
+        registry = url_registry(pages)
+        # campaign URLs recur; registry size <= total elements
+        total = sum(len(p.image_elements()) for p in pages)
+        assert len(registry) <= total

@@ -1,0 +1,28 @@
+"""CLI entry point (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_classify_command(self, capsys, reference_classifier):
+        assert main(["classify", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P(ad)" in out
+
+    def test_render_command(self, capsys, reference_classifier):
+        assert main(["render", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("train", "classify", "render", "crawl"):
+            assert command in out

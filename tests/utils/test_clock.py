@@ -1,0 +1,65 @@
+"""Virtual clock and worker-lane scheduling."""
+
+import pytest
+
+from repro.utils.clock import VirtualClock, WorkerLanes
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now_ms == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        clock.advance(2.5)
+        assert clock.now_ms == 12.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1)
+
+    def test_advance_to_only_moves_forward(self):
+        clock = VirtualClock(10)
+        clock.advance_to(5)
+        assert clock.now_ms == 10
+        clock.advance_to(20)
+        assert clock.now_ms == 20
+
+
+class TestWorkerLanes:
+    def test_single_lane_serializes(self):
+        lanes = WorkerLanes(1)
+        lanes.submit(5)
+        lanes.submit(7)
+        assert lanes.makespan_ms == 12
+
+    def test_least_loaded_assignment(self):
+        lanes = WorkerLanes(2)
+        lanes.submit(10)
+        lanes.submit(1)   # goes to lane 1
+        lanes.submit(1)   # still lane 1 (load 2 < 10)
+        assert lanes.makespan_ms == 10
+        assert lanes.total_work_ms == 12
+
+    def test_makespan_at_least_mean_load(self):
+        lanes = WorkerLanes(4)
+        for cost in (3, 3, 3, 3, 3, 3, 3, 3):
+            lanes.submit(cost)
+        assert lanes.makespan_ms == pytest.approx(6.0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerLanes(0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerLanes(1).submit(-1)
+
+    def test_submit_returns_lane_index(self):
+        lanes = WorkerLanes(3)
+        assert lanes.submit(1) in range(3)

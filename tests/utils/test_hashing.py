@@ -1,0 +1,52 @@
+"""Stable hashing and image fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import image_fingerprint, stable_hash
+
+
+class TestStableHash:
+    def test_dict_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_sensitivity(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_numpy_scalars_supported(self):
+        assert stable_hash(np.int64(3)) == stable_hash(3)
+        assert stable_hash({"x": np.float64(0.5)}) == stable_hash({"x": 0.5})
+
+    def test_numpy_arrays_supported(self):
+        assert stable_hash(np.array([1, 2])) == stable_hash([1, 2])
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash({"f": object()})
+
+
+class TestImageFingerprint:
+    def test_identical_pixels_identical_digest(self):
+        img = np.random.default_rng(0).random((8, 8, 4)).astype(np.float32)
+        assert image_fingerprint(img) == image_fingerprint(img.copy())
+
+    def test_pixel_change_changes_digest(self):
+        img = np.zeros((4, 4, 4), dtype=np.float32)
+        other = img.copy()
+        other[0, 0, 0] = 1.0
+        assert image_fingerprint(img) != image_fingerprint(other)
+
+    def test_shape_disambiguates(self):
+        flat = np.zeros((2, 8, 4), dtype=np.float32)
+        square = np.zeros((4, 4, 4), dtype=np.float32)
+        assert image_fingerprint(flat) != image_fingerprint(square)
+
+    def test_dtype_disambiguates(self):
+        a = np.zeros((4, 4, 4), dtype=np.float32)
+        b = np.zeros((4, 4, 4), dtype=np.float64)
+        assert image_fingerprint(a) != image_fingerprint(b)
+
+    def test_non_contiguous_input_ok(self):
+        img = np.random.default_rng(1).random((8, 8, 4)).astype(np.float32)
+        view = img[::2]
+        assert image_fingerprint(view) == image_fingerprint(view.copy())

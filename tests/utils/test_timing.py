@@ -1,0 +1,47 @@
+"""Wall-clock measurement helpers."""
+
+import pytest
+
+from repro.utils.timing import Timer, measure_latency
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed_ms >= 0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed_ms
+        with timer:
+            sum(range(10000))
+        assert timer.elapsed_ms >= 0
+        assert first >= 0
+
+
+class TestMeasureLatency:
+    def test_returns_median(self):
+        calls = []
+        result = measure_latency(lambda: calls.append(1), repeats=5,
+                                 warmup=2)
+        assert result >= 0
+        assert len(calls) == 7  # 2 warmup + 5 measured
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            measure_latency(lambda: None, repeats=0)
+
+    def test_warmup_excluded_from_median(self):
+        # a function that is slow only on its first call
+        state = {"first": True}
+
+        def fn():
+            if state["first"]:
+                state["first"] = False
+                sum(range(2_000_00))
+
+        latency = measure_latency(fn, repeats=3, warmup=1)
+        assert latency < 50  # warmup absorbed the slow call
