@@ -28,6 +28,12 @@ def reference_classifier() -> AdClassifier:
 @pytest.fixture(scope="session")
 def _sink_path() -> str:
     os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    # Partial runs (scripts/bench_smoke.sh, single-file invocations) set
+    # PERCIVAL_BENCH_APPEND so they add their tables without wiping the
+    # consolidated artifact of the last full run.
+    if os.environ.get("PERCIVAL_BENCH_APPEND") and \
+            os.path.exists(_OUTPUT_PATH):
+        return _OUTPUT_PATH
     with open(_OUTPUT_PATH, "w", encoding="utf-8") as handle:
         handle.write("PERCIVAL reproduction: regenerated tables\n\n")
     return _OUTPUT_PATH

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run only the bench_smoke-marked benchmarks with reduced timing rounds.
+#
+# The full benchmark suite regenerates every paper table and takes
+# minutes; this runs the fast-path micro-benchmarks alone in seconds —
+# handy as a perf smoke check after touching the nn/ kernels.
+#
+#   scripts/bench_smoke.sh            # defaults: 8 rounds
+#   PERCIVAL_BENCH_ROUNDS=30 scripts/bench_smoke.sh -v
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PERCIVAL_BENCH_ROUNDS="${PERCIVAL_BENCH_ROUNDS:-8}"
+# append to benchmarks/output/results_latest.txt instead of truncating
+# the consolidated artifact of the last full benchmark run
+export PERCIVAL_BENCH_APPEND=1
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks -m bench_smoke -q "$@"

@@ -24,6 +24,7 @@ PERCIVAL attaches in one of two modes (§1.1):
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol
 
@@ -47,7 +48,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class BlockerProtocol(Protocol):
-    """What the renderer needs from an ad blocker implementation."""
+    """What the renderer needs from an ad blocker implementation.
+
+    Implementations may additionally provide two optional (duck-typed)
+    fast-path extensions the renderer uses when present:
+
+    * ``fingerprint(bitmap) -> str`` plus ``key=`` keyword support on
+      ``memoized_verdict``/``decide`` — lets the renderer hash a frame
+      exactly once per encounter instead of once per lookup, and
+    * ``decide_many(bitmaps) -> list`` — batched verdicts for a page's
+      frames, used by the synchronous image-decode drain so N frames
+      cost one batched forward pass instead of N single-image passes.
+    """
 
     def classify_bitmap(self, bitmap: np.ndarray, info: SkImageInfo) -> bool:
         """True if the decoded frame is an ad (should be blocked)."""
@@ -94,6 +106,29 @@ def _brave_profile() -> BrowserProfile:
 
 CHROMIUM = BrowserProfile(name="chromium")
 BRAVE = _brave_profile()
+
+
+def _supports_keyed_verdicts(percival: BlockerProtocol) -> bool:
+    """True if the blocker implements the keyed fast-path extension.
+
+    Requires the full surface — ``fingerprint()`` plus ``key=``-aware
+    ``memoized_verdict()`` and ``decide()`` — verified against each
+    method's actual signature, so a protocol-only blocker that happens
+    to define a method with a colliding name is never miscalled.
+    """
+    if getattr(percival, "fingerprint", None) is None:
+        return False
+    for name in ("memoized_verdict", "decide"):
+        method = getattr(percival, name, None)
+        if method is None:
+            return False
+        try:
+            parameters = inspect.signature(method).parameters
+        except (TypeError, ValueError):
+            return False
+        if "key" not in parameters:
+            return False
+    return True
 
 
 @dataclass
@@ -245,7 +280,28 @@ class Renderer:
         async_lanes: Optional[WorkerLanes] = None
 
         if percival is not None and mode == "sync":
+            # Image-decode drain: when the blocker supports batched
+            # verdicts, decode every fetched frame up front and classify
+            # them all in ONE batched forward pass.  Raster still
+            # charges decode + classification virtual cost on first
+            # touch, so the virtual-clock metrics are identical to the
+            # per-frame deployment — only the real compute is batched.
+            decide_many = getattr(percival, "decide_many", None)
+            if decide_many is not None:
+                fresh = [
+                    image for image in images.values()
+                    if not image.is_decoded
+                ]
+                if fresh:
+                    decisions = decide_many(
+                        [image.decode_only() for image in fresh]
+                    )
+                    for image, decision in zip(fresh, decisions):
+                        image.apply_verdict(bool(decision.is_ad))
+
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
+                # Fallback for frames the drain did not cover (and the
+                # whole page when the blocker has no batched API).
                 return percival.classify_bitmap(bitmap, info)
 
             def cost_fn(url: str) -> float:
@@ -254,14 +310,26 @@ class Renderer:
 
         elif percival is not None and mode == "async":
             async_lanes = WorkerLanes(profile.raster_threads)
+            keyed = _supports_keyed_verdicts(percival)
+            fingerprint = percival.fingerprint if keyed else None
+            decide = percival.decide if keyed else None
 
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
-                cached = percival.memoized_verdict(bitmap)
+                # fingerprint once per frame: the same key serves the
+                # memo lookup and, on a miss, the memo fill.
+                if keyed:
+                    key = fingerprint(bitmap)
+                    cached = percival.memoized_verdict(bitmap, key=key)
+                else:
+                    cached = percival.memoized_verdict(bitmap)
                 if cached is not None:
                     metrics.memo_hits += 1
                     return cached
                 # classify off the critical path; frame paints meanwhile
-                verdict = percival.classify_bitmap(bitmap, info)
+                if keyed:
+                    verdict = decide(bitmap, key=key).is_ad
+                else:
+                    verdict = percival.classify_bitmap(bitmap, info)
                 async_lanes.submit(percival.classify_cost_ms(info))
                 if verdict:
                     metrics.flashed_ads += 1

@@ -123,3 +123,28 @@ class BitmapImage:
             )
             self._decoded = bitmap
         return self._decoded
+
+    # ------------------------------------------------------------------
+    # Batched classification support (two-phase decode).
+    #
+    # The renderer's image-decode drain decodes a page's frames first,
+    # classifies them all in one batched forward pass, then applies the
+    # verdicts — instead of paying one classification per decode.  The
+    # virtual-clock costs are unchanged (raster still charges decode and
+    # classification on the first raster task to touch each image).
+    # ------------------------------------------------------------------
+    def decode_only(self) -> np.ndarray:
+        """Phase one: decode without running any classification hook."""
+        return self.ensure_decoded(None)
+
+    def apply_verdict(self, blocked: bool) -> None:
+        """Phase two: apply a (batched) PERCIVAL verdict to the frame.
+
+        Blocking clears the decoded buffer exactly as the in-decode hook
+        would have — nothing downstream ever sees the pixels.
+        """
+        if self._decoded is None:
+            raise RuntimeError("apply_verdict called before decode")
+        if blocked and not self.blocked:
+            self._decoded[...] = 0.0
+            self.blocked = True

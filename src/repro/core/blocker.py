@@ -7,18 +7,28 @@ memoization cache keyed on the decoded pixels (the async deployment of
 §1.1 — results are memoized, "thus speeding up the classification
 process", and a previously-seen creative blocks instantly on the next
 encounter).
+
+Two hot-path refinements over the naive per-frame loop:
+
+* every entry point accepts a precomputed fingerprint ``key`` so a frame
+  is hashed exactly once per encounter (the renderer hashes once and
+  threads the key through lookup and classification), and
+* :meth:`decide_many` batches a whole page's frames: fingerprint all,
+  serve memo hits, classify the unique misses in **one** NCHW forward
+  through the classifier's compiled fast path, then fill the memo.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.browser.skia import SkImageInfo
 from repro.core.classifier import AdClassifier
+from repro.core.preprocessing import preprocess_batch
 from repro.utils.hashing import image_fingerprint
 
 
@@ -71,8 +81,10 @@ class PercivalBlocker:
         """
         return self.calibrated_latency_ms
 
-    def memoized_verdict(self, bitmap: np.ndarray) -> Optional[bool]:
-        key = image_fingerprint(bitmap)
+    def memoized_verdict(
+        self, bitmap: np.ndarray, key: Optional[str] = None
+    ) -> Optional[bool]:
+        key = key if key is not None else self.fingerprint(bitmap)
         cached = self._memo.get(key)
         if cached is None:
             return None
@@ -82,9 +94,18 @@ class PercivalBlocker:
     # ------------------------------------------------------------------
     # Rich API
     # ------------------------------------------------------------------
-    def decide(self, bitmap: np.ndarray) -> BlockDecision:
+    @staticmethod
+    def fingerprint(bitmap: np.ndarray) -> str:
+        """Memo key for a decoded frame.  Callers on the hot path hash
+        once and pass the key to ``memoized_verdict``/``decide`` so the
+        frame is never fingerprinted twice per encounter."""
+        return image_fingerprint(bitmap)
+
+    def decide(
+        self, bitmap: np.ndarray, key: Optional[str] = None
+    ) -> BlockDecision:
         """Full decision record for a bitmap, using the memo cache."""
-        key = image_fingerprint(bitmap)
+        key = key if key is not None else self.fingerprint(bitmap)
         cached = self._memo.get(key)
         if cached is not None:
             self._memo.move_to_end(key)
@@ -94,6 +115,52 @@ class PercivalBlocker:
                 from_cache=True,
             )
         probability = self.classifier.ad_probability(bitmap)
+        return self._record(key, probability)
+
+    def decide_many(
+        self,
+        bitmaps: Sequence[np.ndarray],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[BlockDecision]:
+        """Batched verdicts for a page's worth of decoded frames.
+
+        Fingerprints every frame once, serves memo hits, deduplicates
+        the misses by fingerprint, classifies the unique misses in one
+        batched forward pass, and fills the memo.  Duplicate frames in
+        the input share one classification (and one ``classifications``
+        count); their decisions report ``from_cache=False`` because the
+        verdict was computed during this call.
+        """
+        bitmaps = list(bitmaps)
+        if keys is None:
+            keys = [self.fingerprint(bitmap) for bitmap in bitmaps]
+        elif len(keys) != len(bitmaps):
+            raise ValueError("keys must align one-to-one with bitmaps")
+        decisions: List[Optional[BlockDecision]] = [None] * len(bitmaps)
+        misses: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, key in enumerate(keys):
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                decisions[index] = BlockDecision(
+                    is_ad=cached.is_ad,
+                    probability=cached.probability,
+                    from_cache=True,
+                )
+            else:
+                misses.setdefault(key, []).append(index)
+        if misses:
+            fresh = [bitmaps[indices[0]] for indices in misses.values()]
+            batch = preprocess_batch(fresh, self.classifier.config.input_size)
+            probabilities = self.classifier.predict_proba_tensor(batch)
+            for key, probability in zip(misses, probabilities):
+                decision = self._record(key, float(probability))
+                for index in misses[key]:
+                    decisions[index] = decision
+        return decisions  # type: ignore[return-value]
+
+    def _record(self, key: str, probability: float) -> BlockDecision:
+        """Memoize a freshly computed probability and update counters."""
         is_ad = probability >= self.classifier.config.ad_threshold
         decision = BlockDecision(
             is_ad=is_ad, probability=probability, from_cache=False

@@ -11,6 +11,11 @@ from repro.core.preprocessing import preprocess_batch, preprocess_bitmap
 from repro.models.percivalnet import LABEL_AD, PercivalNet, build_percival_net
 from repro.models.zoo import model_size_mb
 from repro.nn import Trainer, TrainConfig, TrainReport, softmax
+from repro.nn.inference import (
+    InferencePlan,
+    UnsupportedLayerError,
+    compile_inference,
+)
 from repro.nn.serialization import load_weights, save_weights
 from repro.utils.timing import measure_latency
 
@@ -22,6 +27,12 @@ class AdClassifier:
     the operations the rest of the system needs: probability scoring,
     thresholded verdicts, training, persistence, and measured inference
     latency (the number the render experiments calibrate against).
+
+    Eval-mode scoring runs through a compiled inference plan (fused,
+    cache-free kernels; see ``repro.nn.inference``), compiled lazily and
+    invalidated whenever the weights may have been replaced
+    (``train()``/``load()``).  Training and Grad-CAM keep using the
+    layer-by-layer graph.
     """
 
     def __init__(
@@ -37,6 +48,36 @@ class AdClassifier:
             width=self.config.width,
         )
         self.network.eval()
+        self._plan: Optional[InferencePlan] = None
+        self._plan_supported = True
+
+    # ------------------------------------------------------------------
+    # Compiled fast path
+    # ------------------------------------------------------------------
+    @property
+    def inference_plan(self) -> Optional[InferencePlan]:
+        """The compiled eval-mode plan (None if the network contains a
+        layer the compiler cannot lower — scoring then falls back to the
+        layer-by-layer path)."""
+        if self._plan is None and self._plan_supported:
+            try:
+                self._plan = compile_inference(self.network)
+            except UnsupportedLayerError:
+                self._plan_supported = False
+        return self._plan
+
+    def invalidate_plan(self) -> None:
+        """Discard the compiled plan (after weight replacement)."""
+        self._plan = None
+        self._plan_supported = True
+
+    def _forward_eval(
+        self, batch: np.ndarray, fast_path: bool = True
+    ) -> np.ndarray:
+        plan = self.inference_plan if fast_path else None
+        if plan is not None:
+            return plan.run(batch)
+        return self.network.forward(batch)
 
     # ------------------------------------------------------------------
     # Inference
@@ -44,7 +85,7 @@ class AdClassifier:
     def ad_probability(self, bitmap: np.ndarray) -> float:
         """P(ad) for a single decoded bitmap."""
         tensor = preprocess_bitmap(bitmap, self.config.input_size)
-        logits = self.network.forward(tensor[None, ...])
+        logits = self._forward_eval(tensor[None, ...])
         return float(softmax(logits, axis=1)[0, LABEL_AD])
 
     def is_ad(self, bitmap: np.ndarray) -> bool:
@@ -59,13 +100,20 @@ class AdClassifier:
         return self.predict_proba_tensor(batch, batch_size)
 
     def predict_proba_tensor(
-        self, tensors: np.ndarray, batch_size: int = 64
+        self,
+        tensors: np.ndarray,
+        batch_size: int = 64,
+        fast_path: bool = True,
     ) -> np.ndarray:
-        """P(ad) for an already-preprocessed NCHW batch."""
+        """P(ad) for an already-preprocessed NCHW batch.
+
+        ``fast_path=False`` forces the reference layer-by-layer forward
+        (used by the equivalence tests and benchmarks).
+        """
         probs: List[np.ndarray] = []
         for start in range(0, tensors.shape[0], batch_size):
-            logits = self.network.forward(
-                tensors[start:start + batch_size]
+            logits = self._forward_eval(
+                tensors[start:start + batch_size], fast_path=fast_path
             )
             probs.append(softmax(logits, axis=1)[:, LABEL_AD])
         if not probs:
@@ -102,9 +150,11 @@ class AdClassifier:
             epochs=epochs if epochs is not None else self.config.epochs,
             seed=self.config.seed,
         )
+        self.invalidate_plan()
         trainer = Trainer(self.network, train_config)
         report = trainer.fit(images, labels, val_images, val_labels)
         self.network.eval()
+        self.invalidate_plan()
         return report
 
     # ------------------------------------------------------------------
@@ -116,6 +166,7 @@ class AdClassifier:
     def load(self, path: str) -> None:
         load_weights(self.network, path)
         self.network.eval()
+        self.invalidate_plan()
 
     @property
     def model_size_mb(self) -> float:

@@ -9,7 +9,10 @@ operator set directly on numpy:
 * ReLU, dropout, channel concatenation (for Fire modules),
 * softmax cross-entropy,
 * SGD with momentum and step learning-rate decay (the paper's §4.3 recipe),
-* weight initialization, ``.npz`` serialization, and a training loop.
+* weight initialization, ``.npz`` serialization, and a training loop,
+* a compiled inference fast path (``compile_inference``): fused,
+  cache-free kernels for eval-mode forward passes (see
+  ``repro.nn.inference`` and ``docs/inference.md``).
 
 Layout convention is NCHW throughout. Every layer implements
 ``forward``/``backward`` explicitly (no taped autograd) which keeps the
@@ -31,6 +34,11 @@ from repro.nn.layers import (
 )
 from repro.nn.fire import FireModule
 from repro.nn.network import Sequential
+from repro.nn.inference import (
+    InferencePlan,
+    UnsupportedLayerError,
+    compile_inference,
+)
 from repro.nn.loss import SoftmaxCrossEntropy, softmax
 from repro.nn.optim import SGD, StepLR
 from repro.nn.serialization import save_weights, load_weights
@@ -51,6 +59,9 @@ __all__ = [
     "Identity",
     "FireModule",
     "Sequential",
+    "InferencePlan",
+    "UnsupportedLayerError",
+    "compile_inference",
     "SoftmaxCrossEntropy",
     "softmax",
     "SGD",

@@ -80,3 +80,9 @@ class FireModule(Layer):
             + self.expand1x1.parameters()
             + self.expand3x3.parameters()
         )
+
+    def sub_layers(self):
+        return (
+            self.squeeze, self.squeeze_relu,
+            self.expand1x1, self.expand3x3, self.expand_relu,
+        )

@@ -1,0 +1,348 @@
+"""Compiled inference fast path.
+
+:func:`compile_inference` walks a :class:`~repro.nn.network.Sequential`
+once and emits an :class:`InferencePlan` — a flat list of fused,
+cache-free kernel calls.  Compared with running the training graph in
+eval mode, a plan:
+
+* never retains backward state (no im2col cols, no pool argmax, no
+  ReLU masks),
+* fuses each ``Conv2d`` with a directly-following ``ReLU`` (the ReLU
+  runs in-place on the GEMM output),
+* routes 1x1 convolutions through the reshape+GEMM shortcut and general
+  convolutions through the zero-copy strided im2col,
+* elides ``Dropout`` and ``Identity`` entirely (both are no-ops in eval
+  mode),
+* reuses scratch buffers across calls, keyed on shape, so steady-state
+  inference stops allocating.
+
+Scratch safety relies on one invariant: every op writes only into its
+*own* buffers and reads its input from a *different* op's output, so no
+kernel ever writes a buffer it is reading.  The plan's return value is
+copied out of scratch when necessary — callers always own the result.
+
+Plans hold *views* of each layer's ``Parameter.data``, captured at
+compile time.  In-place optimizer updates stay visible through the
+views, but anything that can reassign the underlying arrays (training,
+weight loading) must discard the plan and recompile — ``AdClassifier``
+invalidates on ``train()``/``load()``.  Grad-CAM and training keep
+using the layer-by-layer graph, which is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.fire import FireModule
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.network import Sequential
+
+
+class UnsupportedLayerError(TypeError):
+    """Raised when the plan compiler meets a layer it cannot lower."""
+
+
+class ScratchCache:
+    """Per-op scratch buffers keyed on input shape.
+
+    Each op owns its cache exclusively, so a buffer handed out here can
+    never alias the op's input (which is always some *other* op's
+    output).  LRU-bounded so varying batch sizes cannot grow memory
+    without bound.  ``shape_fn`` computes the buffer shape only on a
+    cache miss — steady-state inference skips the geometry arithmetic.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        self._buffers: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._capacity = capacity
+
+    def take(self, key: Tuple[int, ...], shape_fn, dtype) -> np.ndarray:
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape_fn(key), dtype=dtype)
+            self._buffers[key] = buffer
+            if len(self._buffers) > self._capacity:
+                self._buffers.popitem(last=False)
+        else:
+            self._buffers.move_to_end(key)
+        return buffer
+
+
+class InferenceOp:
+    """One step of a compiled plan.
+
+    ``run`` receives the activation plus ``mutable`` — whether the
+    activation's storage belongs to the plan (safe to overwrite) or to
+    the caller (the plan's original input; must be preserved).  The two
+    class flags drive the plan's storage tracking:
+
+    * ``mutable_out`` — True if the op's output storage is plan-owned,
+      None if the op passes its input storage through unchanged.
+    * ``scratch_out`` — True if the output aliases a reusable scratch
+      buffer (the next ``run`` would overwrite it), None to inherit.
+    """
+
+    mutable_out: Optional[bool] = True
+    scratch_out: Optional[bool] = False
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ConvOp(InferenceOp):
+    """Convolution with optional fused ReLU, writing into scratch."""
+
+    scratch_out = True
+
+    def __init__(self, conv: Conv2d, relu: bool) -> None:
+        self.weight = conv.weight
+        self.bias = conv.bias
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.relu = relu
+        self.pointwise = conv.kernel_size == 1
+        self._scratch = ScratchCache()
+        # view of the GEMM-shaped weights, captured at compile time;
+        # in-place updates flow through, reassignment requires recompile
+        # (AdClassifier invalidates plans on train()/load()).
+        self._flat_weight = conv.weight.data.reshape(
+            conv.out_channels, -1
+        )
+
+    def _scratch_shape(self, input_shape: Tuple[int, ...]):
+        return F.conv2d_scratch_shape(
+            input_shape, self.weight.data.shape, self.stride, self.padding
+        )
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        weight = self.weight.data
+        scratch = self._scratch.take(
+            x.shape, self._scratch_shape, weight.dtype
+        )
+        return F.conv2d_infer(
+            x, weight, self.bias.data, self.stride, self.padding,
+            relu=self.relu, out=scratch, flat_weight=self._flat_weight,
+        )
+
+    def describe(self) -> str:
+        kind = "conv1x1[gemm]" if self.pointwise else "conv[im2col]"
+        return f"{kind}+relu" if self.relu else kind
+
+
+class FireOp(InferenceOp):
+    """Fire module: squeeze -> [expand1x1 || expand3x3] -> concat.
+
+    All three ReLUs are fused into their convolutions — the module's
+    post-concat ReLU distributes over concatenation, so it runs on each
+    expand half in place before the copy into the concat output.
+    """
+
+    def __init__(self, fire: FireModule) -> None:
+        self.squeeze = ConvOp(fire.squeeze, relu=True)
+        self.expand1x1 = ConvOp(fire.expand1x1, relu=True)
+        self.expand3x3 = ConvOp(fire.expand3x3, relu=True)
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        squeezed = self.squeeze.run(x, mutable)
+        left = self.expand1x1.run(squeezed, True)
+        right = self.expand3x3.run(squeezed, True)
+        return np.concatenate([left, right], axis=1)
+
+    def describe(self) -> str:
+        return (
+            f"fire({self.squeeze.describe()} -> "
+            f"{self.expand1x1.describe()} || {self.expand3x3.describe()})"
+        )
+
+
+class ReluOp(InferenceOp):
+    """Standalone ReLU: in-place when the activation is plan-owned."""
+
+    mutable_out = True
+    scratch_out = None  # in-place: inherits the input's storage class
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        if mutable:
+            return F.relu_inplace(x)
+        return np.maximum(x, 0.0)
+
+    def describe(self) -> str:
+        return "relu"
+
+
+class MaxPoolOp(InferenceOp):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        return F.maxpool2d_infer(x, self.kernel, self.stride)
+
+    def describe(self) -> str:
+        return f"maxpool{self.kernel}/{self.stride}"
+
+
+class AvgPoolOp(InferenceOp):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        return F.avgpool2d_infer(x, self.kernel, self.stride)
+
+    def describe(self) -> str:
+        return f"avgpool{self.kernel}/{self.stride}"
+
+
+class GlobalAvgPoolOp(InferenceOp):
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        return x.mean(axis=(2, 3), dtype=x.dtype)
+
+    def describe(self) -> str:
+        return "gap"
+
+
+class FlattenOp(InferenceOp):
+    mutable_out = None  # reshape view: inherits the input's storage
+    scratch_out = None
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+    def describe(self) -> str:
+        return "flatten"
+
+
+class LinearOp(InferenceOp):
+    def __init__(self, linear: Linear, relu: bool) -> None:
+        self.weight = linear.weight
+        self.bias = linear.bias
+        self.relu = relu
+
+    def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
+        out = x @ self.weight.data.T
+        out += self.bias.data
+        if self.relu:
+            F.relu_inplace(out)
+        return out
+
+    def describe(self) -> str:
+        return "linear+relu" if self.relu else "linear"
+
+
+class InferencePlan:
+    """A compiled, cache-free execution schedule for one network.
+
+    ``run`` never touches the layers' backward caches, activation
+    capture, or training flags — it is safe to interleave with training
+    and Grad-CAM use of the same network (but see the staleness contract
+    in the module docstring: recompile after ``train()``/``load()``).
+    """
+
+    def __init__(self, ops: List[InferenceOp], name: str = "net") -> None:
+        self.ops = ops
+        self.name = name
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        mutable = False   # the caller's input: never overwrite
+        scratch = False   # aliases a reusable buffer: never return as-is
+        for op in self.ops:
+            out = op.run(out, mutable)
+            if op.mutable_out is not None:
+                mutable = op.mutable_out
+            if op.scratch_out is not None:
+                scratch = op.scratch_out
+        if scratch:
+            # never hand a scratch view to the caller: the next run
+            # would silently overwrite it.
+            out = out.copy()
+        return out
+
+    __call__ = run
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def describe(self) -> str:
+        lines = [f"InferencePlan({self.name})"]
+        lines.extend(
+            f"  [{index:2d}] {op.describe()}"
+            for index, op in enumerate(self.ops)
+        )
+        return "\n".join(lines)
+
+
+def _flatten_layers(network: Sequential) -> Iterable[Layer]:
+    for layer in network.layers:
+        if isinstance(layer, Sequential):
+            yield from _flatten_layers(layer)
+        else:
+            yield layer
+
+
+def compile_inference(network: Sequential) -> InferencePlan:
+    """Lower a Sequential into a flat list of fused inference kernels.
+
+    Raises :class:`UnsupportedLayerError` for layer types without an
+    inference lowering; callers fall back to the layer-by-layer path.
+    """
+    layers = list(_flatten_layers(network))
+    ops: List[InferenceOp] = []
+    index = 0
+    while index < len(layers):
+        layer = layers[index]
+        nxt = layers[index + 1] if index + 1 < len(layers) else None
+        if isinstance(layer, (Dropout, Identity)):
+            index += 1  # no-ops in eval mode: elided
+        elif isinstance(layer, Conv2d):
+            fused = isinstance(nxt, ReLU)
+            ops.append(ConvOp(layer, relu=fused))
+            index += 2 if fused else 1
+        elif isinstance(layer, Linear):
+            fused = isinstance(nxt, ReLU)
+            ops.append(LinearOp(layer, relu=fused))
+            index += 2 if fused else 1
+        elif isinstance(layer, FireModule):
+            ops.append(FireOp(layer))
+            index += 1
+        elif isinstance(layer, ReLU):
+            ops.append(ReluOp())
+            index += 1
+        elif isinstance(layer, MaxPool2d):
+            ops.append(MaxPoolOp(layer.kernel_size, layer.stride))
+            index += 1
+        elif isinstance(layer, AvgPool2d):
+            ops.append(AvgPoolOp(layer.kernel_size, layer.stride))
+            index += 1
+        elif isinstance(layer, GlobalAvgPool2d):
+            ops.append(GlobalAvgPoolOp())
+            index += 1
+        elif isinstance(layer, Flatten):
+            ops.append(FlattenOp())
+            index += 1
+        else:
+            raise UnsupportedLayerError(
+                f"no inference lowering for {type(layer).__name__}"
+            )
+    if not ops:
+        raise UnsupportedLayerError("network lowered to an empty plan")
+    return InferencePlan(ops, name=network.name)

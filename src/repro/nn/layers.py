@@ -32,6 +32,15 @@ class Layer:
     def parameters(self) -> List[Parameter]:
         return []
 
+    def sub_layers(self) -> Tuple["Layer", ...]:
+        """Internal layers of a composite (Fire modules, nested stacks).
+
+        ``Sequential.train()``/``.eval()`` recurse through this so the
+        ``training`` flag reaches every flag-sensitive layer (dropout,
+        ReLU's mask retention), however deeply nested.
+        """
+        return ()
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
@@ -182,19 +191,36 @@ class GlobalAvgPool2d(Layer):
 
 
 class ReLU(Layer):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    Forward is a single ``np.maximum`` (the old ``np.where(...).astype``
+    allocated twice per call).  The boolean mask is materialized only in
+    training mode; in eval mode only a reference to the output is kept,
+    from which backward derives the identical mask on demand
+    (``out > 0`` iff ``x > 0``) — Grad-CAM backpropagates in eval mode
+    and still needs it.
+    """
 
     def __init__(self) -> None:
         self._mask: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0).astype(x.dtype)
+        out = np.maximum(x, 0.0)
+        if self.training:
+            self._mask = x > 0
+            self._out = None
+        else:
+            self._mask = None
+            self._out = out
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward called before forward")
-        return grad_out * self._mask
+        if self._mask is not None:
+            return grad_out * self._mask
+        if self._out is not None:
+            return grad_out * (self._out > 0)
+        raise RuntimeError("backward called before forward")
 
 
 class Dropout(Layer):

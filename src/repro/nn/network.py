@@ -73,16 +73,17 @@ class Sequential(Layer):
         return self
 
     def _all_layers(self) -> Iterable[Layer]:
-        for layer in self.layers:
+        # Depth-first over composites via Layer.sub_layers() so the
+        # training flag reaches flag-sensitive layers (dropout, ReLU
+        # mask retention) nested inside Fire modules or sub-stacks.
+        stack: List[Layer] = list(self.layers)
+        while stack:
+            layer = stack.pop()
             yield layer
-            # Fire modules and other composites expose sub-layers via
-            # attributes; flipping `training` on the composite is enough
-            # because composites consult their own flag, but dropout
-            # nested inside composites would need recursion. Composites
-            # in this codebase contain no dropout, so one level suffices;
-            # still, recurse into nested Sequentials for safety.
-            if isinstance(layer, Sequential):
-                yield from layer._all_layers()
+            stack.extend(layer.sub_layers())
+
+    def sub_layers(self) -> tuple:
+        return tuple(self.layers)
 
     def parameters(self) -> List[Parameter]:
         params: List[Parameter] = []

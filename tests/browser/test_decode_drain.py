@@ -1,0 +1,131 @@
+"""The batched image-decode drain: semantics vs the per-frame path.
+
+The sync-mode drain classifies a page's frames in one batched forward;
+the virtual-clock metrics must be bit-identical to the per-frame hook
+deployment (raster still charges decode + classification per image).
+"""
+
+import numpy as np
+import pytest
+
+from repro.browser.codecs import ImageFormat, encode_image
+from repro.browser.network import MockNetwork, NetworkConfig
+from repro.browser.renderer import CHROMIUM, Renderer
+from repro.browser.skia import BitmapImage
+from repro.core import PercivalBlocker
+from repro.synth.webgen import SyntheticWeb, WebConfig, url_registry
+
+
+@pytest.fixture(scope="module")
+def small_web():
+    web = SyntheticWeb(WebConfig(seed=7, num_sites=3,
+                                 images_per_page=(6, 10)))
+    pages = list(web.iter_pages(web.top_sites(3), pages_per_site=1))
+    network = MockNetwork(url_registry(pages), NetworkConfig(seed=2))
+    return pages, network
+
+
+class _PerFrameOnly:
+    """Strips the batched API off a blocker: protocol methods only."""
+
+    def __init__(self, blocker):
+        self._blocker = blocker
+
+    def classify_bitmap(self, bitmap, info):
+        return self._blocker.classify_bitmap(bitmap, info)
+
+    def classify_cost_ms(self, info):
+        return self._blocker.classify_cost_ms(info)
+
+    def memoized_verdict(self, bitmap):
+        return self._blocker.memoized_verdict(bitmap)
+
+
+class TestBatchedDrain:
+    def test_sync_metrics_match_per_frame_path(self, small_web,
+                                               untrained_classifier):
+        pages, network = small_web
+        renderer = Renderer(CHROMIUM, network)
+        batched_metrics = []
+        per_frame_metrics = []
+        for page in pages:
+            batched = PercivalBlocker(untrained_classifier,
+                                      calibrated_latency_ms=11.0)
+            batched_metrics.append(
+                renderer.render(page, percival=batched, mode="sync")
+            )
+            per_frame = _PerFrameOnly(PercivalBlocker(
+                untrained_classifier, calibrated_latency_ms=11.0
+            ))
+            per_frame_metrics.append(
+                renderer.render(page, percival=per_frame, mode="sync")
+            )
+        for fast, reference in zip(batched_metrics, per_frame_metrics):
+            assert fast.render_time_ms == pytest.approx(
+                reference.render_time_ms
+            )
+            assert fast.classify_cost_ms == pytest.approx(
+                reference.classify_cost_ms
+            )
+            assert fast.images_blocked_by_percival \
+                == reference.images_blocked_by_percival
+            assert fast.images_decoded == reference.images_decoded
+
+    def test_drain_classifies_in_one_batch(self, small_web,
+                                           untrained_classifier, rng):
+        pages, network = small_web
+        renderer = Renderer(CHROMIUM, network)
+        blocker = PercivalBlocker(untrained_classifier,
+                                  calibrated_latency_ms=11.0)
+        calls = []
+        original = untrained_classifier.predict_proba_tensor
+
+        def counting(tensors, *args, **kwargs):
+            calls.append(tensors.shape[0])
+            return original(tensors, *args, **kwargs)
+
+        untrained_classifier.predict_proba_tensor = counting
+        try:
+            metrics = renderer.render(pages[0], percival=blocker,
+                                      mode="sync")
+        finally:
+            untrained_classifier.predict_proba_tensor = original
+        assert metrics.images_decoded > 1
+        # all unique frames of the page classified in a single batch
+        assert len(calls) == 1
+        assert calls[0] == blocker.classifications
+
+
+class TestTwoPhaseDecode:
+    def _bitmap_image(self, rng):
+        pixels = rng.random((6, 6, 4)).astype(np.float32)
+        return BitmapImage(encode_image(pixels, ImageFormat.RAW))
+
+    def test_decode_only_then_block(self, rng):
+        image = self._bitmap_image(rng)
+        pixels = image.decode_only()
+        assert image.is_decoded
+        assert not image.blocked
+        assert pixels.any()
+        image.apply_verdict(True)
+        assert image.blocked
+        assert not image.ensure_decoded().any()  # buffer cleared
+
+    def test_decode_only_then_pass(self, rng):
+        image = self._bitmap_image(rng)
+        image.decode_only()
+        image.apply_verdict(False)
+        assert not image.blocked
+        assert image.ensure_decoded().any()
+
+    def test_apply_verdict_requires_decode(self, rng):
+        image = self._bitmap_image(rng)
+        with pytest.raises(RuntimeError):
+            image.apply_verdict(True)
+
+    def test_verdict_cannot_unblock(self, rng):
+        image = self._bitmap_image(rng)
+        image.decode_only()
+        image.apply_verdict(True)
+        image.apply_verdict(False)
+        assert image.blocked
