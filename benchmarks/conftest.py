@@ -31,8 +31,9 @@ def _sink_path() -> str:
     # Partial runs (scripts/bench_smoke.sh, single-file invocations) set
     # PERCIVAL_BENCH_APPEND so they add their tables without wiping the
     # consolidated artifact of the last full run.
-    if os.environ.get("PERCIVAL_BENCH_APPEND") and \
-            os.path.exists(_OUTPUT_PATH):
+    if os.environ.get("PERCIVAL_BENCH_APPEND") and os.path.exists(
+        _OUTPUT_PATH
+    ):
         return _OUTPUT_PATH
     with open(_OUTPUT_PATH, "w", encoding="utf-8") as handle:
         handle.write("PERCIVAL reproduction: regenerated tables\n\n")

@@ -6,7 +6,6 @@ Implemented with real gradients: FGSM attack at several budgets, then
 adversarial fine-tuning, measuring recall under attack before/after.
 """
 
-import numpy as np
 
 from repro.core.adversarial import (
     ArmsRaceResult,

@@ -10,7 +10,6 @@ structure — in particular Brave's %-overhead exceeding Chromium's
 because list-blocking makes Brave's baseline far cheaper.
 """
 
-import numpy as np
 
 from repro.eval.experiments.render_performance import (
     run_render_performance_experiment,

@@ -1,0 +1,94 @@
+"""Multiprocess sharded inference vs the single-process fast path.
+
+Not a paper figure — this regenerates the PR's own claim: scattering a
+large (>= 32 frame) memo-miss batch across the worker pool must beat
+the single-process batched fast path on multi-core hardware, while
+matching the reference layer-by-layer path's probabilities within
+1e-5.
+
+The equivalence assertion always runs.  The throughput assertion needs
+a second core (process-level sharding cannot beat the serial path on
+one core, it only adds IPC) and is skipped below that.  CI runs this
+with BLAS pinned to one thread (``OPENBLAS_NUM_THREADS=1``) so the
+comparison measures sharding, not BLAS thread contention.
+
+Marked ``bench_smoke`` so ``scripts/bench_smoke.sh`` runs it in
+seconds; ``PERCIVAL_BENCH_ROUNDS`` trims the timing repeats.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceWorkerPool
+from repro.eval.reporting import paper_vs_measured
+from repro.utils.timing import measure_latency
+
+BATCH = 64
+ROUNDS = int(os.environ.get("PERCIVAL_BENCH_ROUNDS", "30"))
+CORES = os.cpu_count() or 1
+WORKERS = min(max(CORES - 1, 2), 4)
+
+
+def _batch(classifier, count):
+    rng = np.random.default_rng(0)
+    size = classifier.config.input_size
+    return rng.standard_normal((count, 4, size, size)).astype(np.float32)
+
+
+@pytest.mark.bench_smoke
+def test_sharded_equivalence(reference_classifier, report_table):
+    classifier = reference_classifier
+    batch = _batch(classifier, BATCH)
+    reference = classifier.predict_proba_tensor(batch, fast_path=False)
+    with InferenceWorkerPool(num_workers=2) as pool:
+        pool.publish(classifier)
+        sharded = pool.predict_proba(batch)
+    max_delta = float(np.abs(sharded - reference).max())
+    rows = [
+        ("frames scattered", "-", BATCH),
+        ("workers", "-", 2),
+        ("max |p_sharded - p_ref|", "< 1e-5", max_delta),
+    ]
+    report_table(paper_vs_measured("Sharded inference: reference equivalence", rows))
+    assert max_delta < 1e-5
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(CORES < 2, reason="sharded throughput needs a second core")
+def test_sharded_throughput(benchmark, reference_classifier, report_table):
+    classifier = reference_classifier
+    batch = _batch(classifier, BATCH)
+    rounds = max(ROUNDS, 5)
+
+    serial_ms = measure_latency(
+        lambda: classifier.predict_proba_tensor(batch, batch_size=BATCH),
+        repeats=rounds,
+        warmup=2,
+    )
+    with InferenceWorkerPool(num_workers=WORKERS) as pool:
+        pool.publish(classifier)
+        benchmark.pedantic(
+            lambda: pool.predict_proba(batch),
+            rounds=rounds,
+            iterations=1,
+            warmup_rounds=2,
+        )
+        sharded_ms = measure_latency(
+            lambda: pool.predict_proba(batch), repeats=rounds, warmup=2
+        )
+
+    speedup = serial_ms / sharded_ms
+    serial_throughput = BATCH / serial_ms * 1000.0
+    sharded_throughput = BATCH / sharded_ms * 1000.0
+    rows = [
+        ("cores / workers", "-", f"{CORES} / {WORKERS}"),
+        ("single-process batched (img/s)", "-", serial_throughput),
+        ("sharded pool (img/s)", "-", sharded_throughput),
+        ("sharded speedup (x)", ">= 1.05", speedup),
+    ]
+    title = f"Sharded inference throughput (batch {BATCH}, {rounds} rounds)"
+    report_table(paper_vs_measured(title, rows))
+    benchmark.extra_info["sharded_speedup"] = speedup
+    assert speedup >= 1.05

@@ -26,7 +26,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"running {args.phases} crawl/retrain phases "
-          f"(paper: 8 phases over 4 months)\n")
+          "(paper: 8 phases over 4 months)\n")
     result = run_crawl_phases(
         num_phases=args.phases,
         sites_per_phase=args.sites_per_phase,

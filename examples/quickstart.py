@@ -22,8 +22,8 @@ def main() -> None:
           "run)...")
     classifier = get_reference_classifier(verbose=True)
     print(f"model size: {classifier.model_size_mb:.3f} MB "
-          f"(paper ships < 2 MB at full scale)")
-    print(f"per-image latency: "
+          "(paper ships < 2 MB at full scale)")
+    print("per-image latency: "
           f"{classifier.measured_latency_ms():.2f} ms\n")
 
     blocker = PercivalBlocker(classifier)

@@ -20,7 +20,6 @@ import enum
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -13,10 +13,9 @@ single calibrated constant (from the measured model latency).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-import numpy as np
 
 from repro.browser.display_list import DisplayItem, DisplayItemKind
 from repro.browser.skia import BitmapImage, PercivalHook

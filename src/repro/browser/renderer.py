@@ -25,7 +25,7 @@ PERCIVAL attaches in one of two modes (§1.1):
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
 import numpy as np
@@ -41,7 +41,6 @@ from repro.browser.skia import BitmapImage, SkImageInfo
 from repro.filterlist.engine import FilterEngine
 from repro.synth.webgen import Page
 from repro.utils.clock import WorkerLanes
-from repro.utils.rng import derive, spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.revisit import RevisitMemory
@@ -59,6 +58,11 @@ class BlockerProtocol(Protocol):
     * ``decide_many(bitmaps) -> list`` — batched verdicts for a page's
       frames, used by the synchronous image-decode drain so N frames
       cost one batched forward pass instead of N single-image passes.
+      A blocker attached to a sharded-inference worker pool
+      (``repro.core.workerpool``) additionally scatters that batch
+      across worker processes — the drain needs no extra wiring, and
+      the async hook is untouched (its per-frame misses are below any
+      sensible shard threshold).
     """
 
     def classify_bitmap(self, bitmap: np.ndarray, info: SkImageInfo) -> bool:
@@ -241,8 +245,9 @@ class Renderer:
             if node.hidden:
                 metrics.images_blocked_by_list += 1
                 continue
-            if revisit_memory is not None and \
-                    revisit_memory.should_collapse(node.src):
+            if revisit_memory is not None and revisit_memory.should_collapse(
+                node.src
+            ):
                 # blocked on a previous visit: collapse the element
                 # before layout; no fetch, decode or classification.
                 node.hidden = True
@@ -282,10 +287,12 @@ class Renderer:
         if percival is not None and mode == "sync":
             # Image-decode drain: when the blocker supports batched
             # verdicts, decode every fetched frame up front and classify
-            # them all in ONE batched forward pass.  Raster still
-            # charges decode + classification virtual cost on first
-            # touch, so the virtual-clock metrics are identical to the
-            # per-frame deployment — only the real compute is batched.
+            # them all in ONE batched forward pass (sharded across the
+            # blocker's worker pool when it holds one and the page is
+            # large enough).  Raster still charges decode +
+            # classification virtual cost on first touch, so the
+            # virtual-clock metrics are identical to the per-frame
+            # deployment — only the real compute is batched.
             decide_many = getattr(percival, "decide_many", None)
             if decide_many is not None:
                 fresh = [

@@ -23,7 +23,7 @@ sides of that arms race are implementable exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

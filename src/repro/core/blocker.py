@@ -8,14 +8,20 @@ memoization cache keyed on the decoded pixels (the async deployment of
 process", and a previously-seen creative blocks instantly on the next
 encounter).
 
-Two hot-path refinements over the naive per-frame loop:
+Three hot-path refinements over the naive per-frame loop:
 
 * every entry point accepts a precomputed fingerprint ``key`` so a frame
   is hashed exactly once per encounter (the renderer hashes once and
-  threads the key through lookup and classification), and
+  threads the key through lookup and classification),
 * :meth:`decide_many` batches a whole page's frames: fingerprint all,
   serve memo hits, classify the unique misses in **one** NCHW forward
-  through the classifier's compiled fast path, then fill the memo.
+  through the classifier's compiled fast path, then fill the memo, and
+* a blocker holding an :class:`~repro.core.workerpool.InferenceWorkerPool`
+  handle shards large memo-miss batches across worker processes
+  (scatter/gather of sub-batches; weights shipped once via shared
+  memory).  Batches under ``shard_min_batch``, pool failures, and
+  pool-less blockers all run the single-process fast path — sharding
+  can only change *where* a probability is computed, never its value.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import numpy as np
 from repro.browser.skia import SkImageInfo
 from repro.core.classifier import AdClassifier
 from repro.core.preprocessing import preprocess_batch
+from repro.core.workerpool import InferenceWorkerPool, WorkerPoolError
 from repro.utils.hashing import image_fingerprint
 
 
@@ -49,8 +56,17 @@ class PercivalBlocker:
         classifier: AdClassifier,
         calibrated_latency_ms: Optional[float] = None,
         memo_capacity: int = 4096,
+        pool: Optional[InferenceWorkerPool] = None,
+        shard_min_batch: Optional[int] = None,
     ) -> None:
         self.classifier = classifier
+        #: worker pool for sharded batch inference (None = in-process).
+        #: Duck-typed: anything with ``closed``/``published_fingerprint``
+        #: /``publish``/``predict_proba`` works — tests inject stubs.
+        self.pool = pool
+        if shard_min_batch is None:
+            shard_min_batch = classifier.config.shard_min_batch
+        self.shard_min_batch = int(shard_min_batch)
         if calibrated_latency_ms is None:
             calibrated_latency_ms = (
                 classifier.config.calibrated_latency_ms
@@ -152,12 +168,38 @@ class PercivalBlocker:
         if misses:
             fresh = [bitmaps[indices[0]] for indices in misses.values()]
             batch = preprocess_batch(fresh, self.classifier.config.input_size)
-            probabilities = self.classifier.predict_proba_tensor(batch)
+            probabilities = self._miss_probabilities(batch)
             for key, probability in zip(misses, probabilities):
                 decision = self._record(key, float(probability))
                 for index in misses[key]:
                     decisions[index] = decision
         return decisions  # type: ignore[return-value]
+
+    def _miss_probabilities(self, batch: np.ndarray) -> np.ndarray:
+        """P(ad) for the memo-miss batch: sharded when it pays off.
+
+        Routes through the worker pool when one is attached, open, and
+        the batch is at least ``shard_min_batch`` frames.  Weight
+        staleness is fingerprint-checked (both sides cache the digest,
+        so the check is a string compare) and fixed by re-publishing.
+        Any pool failure — worker death mid-batch, failed publication —
+        degrades to the in-process fast path, so a dying pool can slow
+        a page down but never change or drop a verdict.
+        """
+        pool = self.pool
+        if (
+            pool is not None
+            and not pool.closed
+            and batch.shape[0] >= self.shard_min_batch
+        ):
+            try:
+                fingerprint = self.classifier.weights_fingerprint()
+                if pool.published_fingerprint != fingerprint:
+                    pool.publish(self.classifier)
+                return pool.predict_proba(batch)
+            except WorkerPoolError:
+                pass
+        return self.classifier.predict_proba_tensor(batch)
 
     def _record(self, key: str, probability: float) -> BlockDecision:
         """Memoize a freshly computed probability and update counters."""

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +21,26 @@ from repro.nn.inference import (
 )
 from repro.nn.serialization import load_weights, save_weights
 from repro.utils.timing import measure_latency
+
+
+@dataclass(frozen=True)
+class PlanExport:
+    """Everything a worker process needs to rebuild the compiled plan.
+
+    The architecture travels as the :class:`PercivalConfig` (networks
+    are deterministic per configuration); the weights travel separately
+    as one flat byte buffer — typically a ``multiprocessing``
+    shared-memory segment — described by ``manifest``: one
+    ``(name, shape, dtype, offset)`` row per parameter, in the
+    network's own ``parameters()`` order.  ``fingerprint`` identifies
+    the published weights so pools can detect staleness after
+    ``load()``/``train()`` without reshipping anything.
+    """
+
+    config: PercivalConfig
+    manifest: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+    total_bytes: int
+    fingerprint: str
 
 
 class AdClassifier:
@@ -50,6 +73,11 @@ class AdClassifier:
         self.network.eval()
         self._plan: Optional[InferencePlan] = None
         self._plan_supported = True
+        #: bumped on every invalidation; lets worker pools detect that
+        #: published weights went stale without hashing on the hot path
+        self.weights_version = 0
+        self._fingerprint: Optional[str] = None
+        self._fingerprint_version = -1
 
     # ------------------------------------------------------------------
     # Compiled fast path
@@ -70,6 +98,7 @@ class AdClassifier:
         """Discard the compiled plan (after weight replacement)."""
         self._plan = None
         self._plan_supported = True
+        self.weights_version += 1
 
     def _forward_eval(
         self, batch: np.ndarray, fast_path: bool = True
@@ -78,6 +107,116 @@ class AdClassifier:
         if plan is not None:
             return plan.run(batch)
         return self.network.forward(batch)
+
+    # ------------------------------------------------------------------
+    # Plan export/import (multiprocess sharding)
+    # ------------------------------------------------------------------
+    def weights_fingerprint(self) -> str:
+        """Stable digest of the current weights.
+
+        Cached per ``weights_version``, so repeated calls on the hot
+        path (the blocker checks it before every sharded batch) cost a
+        dict lookup, not a re-hash.  The same staleness contract as the
+        compiled plan applies: direct in-place mutation of
+        ``network.parameters()`` outside ``train()``/``load()`` must be
+        followed by ``invalidate_plan()``.
+        """
+        if (
+            self._fingerprint is None
+            or self._fingerprint_version != self.weights_version
+        ):
+            hasher = hashlib.blake2b(digest_size=16)
+            for param in self.network.parameters():
+                hasher.update(param.name.encode())
+                hasher.update(str(param.data.shape).encode())
+                hasher.update(str(param.data.dtype).encode())
+                hasher.update(np.ascontiguousarray(param.data).tobytes())
+            self._fingerprint = hasher.hexdigest()
+            self._fingerprint_version = self.weights_version
+        return self._fingerprint
+
+    def export_plan(self) -> PlanExport:
+        """Manifest for shipping this classifier's plan to a worker."""
+        manifest = []
+        offset = 0
+        for param in self.network.parameters():
+            data = param.data
+            manifest.append(
+                (param.name, tuple(data.shape), data.dtype.str, offset)
+            )
+            offset += int(data.nbytes)
+        return PlanExport(
+            config=self.config,
+            manifest=tuple(manifest),
+            total_bytes=offset,
+            fingerprint=self.weights_fingerprint(),
+        )
+
+    def pack_weights_into(self, export: PlanExport, buffer) -> None:
+        """Write the weights into ``buffer`` per ``export``'s manifest.
+
+        ``buffer`` is any writable buffer of at least
+        ``export.total_bytes`` bytes — in the sharded deployment, a
+        ``multiprocessing.shared_memory`` segment's ``buf``.
+        """
+        params = self.network.parameters()
+        if len(params) != len(export.manifest):
+            raise ValueError(
+                f"manifest rows ({len(export.manifest)}) do not match "
+                f"network parameters ({len(params)})"
+            )
+        for param, (name, shape, dtype, offset) in zip(
+            params, export.manifest
+        ):
+            if tuple(param.data.shape) != tuple(shape):
+                raise ValueError(
+                    f"shape mismatch packing {name}: "
+                    f"{param.data.shape} vs {shape}"
+                )
+            count = math.prod(shape) if shape else 1
+            target = np.frombuffer(
+                buffer, dtype=np.dtype(dtype), count=count, offset=offset
+            ).reshape(shape)
+            target[...] = param.data
+
+    @classmethod
+    def from_plan_export(cls, export: PlanExport, buffer) -> "AdClassifier":
+        """Rebuild a classifier from a :class:`PlanExport` and its
+        packed weight buffer (the worker-side import).
+
+        The packed bytes are **copied** into private memory before any
+        views are taken, so the caller may close/unlink the shared
+        segment as soon as this returns — numpy views pinning a shared
+        mmap would otherwise make ``SharedMemory.close()`` impossible.
+        """
+        classifier = cls(export.config)
+        params = classifier.network.parameters()
+        if len(params) != len(export.manifest):
+            raise ValueError(
+                f"manifest rows ({len(export.manifest)}) do not match "
+                f"network parameters ({len(params)})"
+            )
+        packed = np.frombuffer(
+            buffer, dtype=np.uint8, count=export.total_bytes
+        ).copy()
+        for param, (name, shape, dtype, offset) in zip(
+            params, export.manifest
+        ):
+            nbytes = math.prod(shape) * np.dtype(dtype).itemsize
+            view = (
+                packed[offset:offset + nbytes]
+                .view(np.dtype(dtype))
+                .reshape(shape)
+            )
+            if view.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch importing {name}: "
+                    f"{param.data.shape} vs {view.shape}"
+                )
+            param.data = view
+        classifier.network.eval()
+        classifier.invalidate_plan()
+        return classifier
 
     # ------------------------------------------------------------------
     # Inference

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+import os
+from dataclasses import dataclass, asdict
 
 
 @dataclass(frozen=True)
@@ -25,6 +26,15 @@ class PercivalConfig:
     #: virtual per-image classification cost used by the render
     #: experiments; None -> measure the real model's latency once.
     calibrated_latency_ms: float | None = None
+    #: worker processes for sharded batch inference; None defers to the
+    #: ``PERCIVAL_WORKERS`` environment knob (see
+    #: :func:`configured_worker_count`).  0 disables sharding entirely
+    #: and reproduces the single-process fast path.
+    num_workers: int | None = None
+    #: smallest memo-miss batch ``PercivalBlocker.decide_many`` will
+    #: scatter across the worker pool; smaller batches stay in-process
+    #: (scatter/gather IPC would cost more than it saves).
+    shard_min_batch: int = 32
 
     @classmethod
     def paper(cls) -> "PercivalConfig":
@@ -34,6 +44,34 @@ class PercivalConfig:
     def cache_key(self) -> dict:
         """Stable dict identifying a trained-model cache entry."""
         payload = asdict(self)
+        # deployment knobs: they do not affect the trained weights
         payload.pop("calibrated_latency_ms")
         payload.pop("ad_threshold")
+        payload.pop("num_workers")
+        payload.pop("shard_min_batch")
         return payload
+
+
+def configured_worker_count(explicit: int | None = None) -> int:
+    """Resolve the ``PERCIVAL_WORKERS`` knob to a worker count.
+
+    Resolution order: an ``explicit`` value (e.g.
+    ``PercivalConfig.num_workers``) wins; otherwise the
+    ``PERCIVAL_WORKERS`` environment variable is consulted, where
+    ``"auto"`` (or unset) means *cores minus one* — leave one core for
+    the renderer/parent — and an integer pins the count.  ``0`` always
+    means sharding is disabled (single-process inference); on a
+    single-core machine ``auto`` therefore resolves to ``0``.
+    """
+    if explicit is not None:
+        return max(int(explicit), 0)
+    raw = os.environ.get("PERCIVAL_WORKERS", "auto").strip().lower()
+    if raw in ("", "auto"):
+        return max((os.cpu_count() or 1) - 1, 0)
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"PERCIVAL_WORKERS must be an integer or 'auto', got {raw!r}"
+        ) from exc
+    return max(value, 0)

@@ -8,6 +8,13 @@ so the store trains once per configuration and caches weights under
 The reference training run follows the paper's §4.3/§4.4 methodology:
 transfer the stem from a (synthetically) pretrained SqueezeNet-style
 donor, then fine-tune on a balanced crawled corpus.
+
+The store also owns the sharded-inference worker pool
+(:class:`~repro.core.workerpool.InferenceWorkerPool`): ``worker_pool``
+hands out a pool with the given classifier's weights published,
+re-publishing (fingerprint-keyed) whenever the classifier loaded or
+trained new weights since the last publication — workers then rebuild
+their compiled plans from the fresh shared-memory segment.
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ import os
 from typing import Optional
 
 from repro.core.classifier import AdClassifier
-from repro.core.config import PercivalConfig
+from repro.core.config import PercivalConfig, configured_worker_count
+from repro.core.workerpool import InferenceWorkerPool
 from repro.data.corpus import build_training_corpus, CorpusConfig
 from repro.models.percivalnet import build_percival_net
 from repro.models.zoo import pretrain_stem, transfer_stem_weights
@@ -37,6 +45,7 @@ class ModelStore:
 
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self.cache_dir = cache_dir or _default_cache_dir()
+        self._pool: Optional[InferenceWorkerPool] = None
 
     def _paths(self, key: str) -> tuple:
         return (
@@ -71,6 +80,51 @@ class ModelStore:
                 indent=2,
             )
         return classifier
+
+    # ------------------------------------------------------------------
+    # Sharded-inference pool lifecycle
+    # ------------------------------------------------------------------
+    def worker_pool(
+        self,
+        classifier: AdClassifier,
+        num_workers: Optional[int] = None,
+    ) -> Optional[InferenceWorkerPool]:
+        """The store's inference pool, with ``classifier`` published.
+
+        ``num_workers`` overrides the resolution chain (explicit arg >
+        ``classifier.config.num_workers`` > ``PERCIVAL_WORKERS`` env >
+        auto = cores - 1).  Returns ``None`` when the resolved count is
+        0 — sharding disabled, callers run the single-process path.
+
+        Publication is fingerprint-keyed: calling again after
+        ``classifier.load()`` (or training) ships the new weights and
+        every worker recompiles its plan; calling with unchanged
+        weights is a no-op.  The pool is shared across calls and torn
+        down by :meth:`shutdown_pool` (also wired to ``atexit``).
+        """
+        if num_workers is None:
+            num_workers = classifier.config.num_workers
+        count = configured_worker_count(num_workers)
+        if count == 0:
+            return None
+        if self._pool is not None and (
+            self._pool.closed or self._pool.num_workers != count
+        ):
+            self.shutdown_pool()
+        if self._pool is None:
+            self._pool = InferenceWorkerPool(count)
+        try:
+            self._pool.publish(classifier)
+        except Exception:
+            self.shutdown_pool()
+            raise
+        return self._pool
+
+    def shutdown_pool(self) -> None:
+        """Tear down the store's worker pool.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     @staticmethod
     def _train(
@@ -113,3 +167,20 @@ def get_reference_classifier(
 ) -> AdClassifier:
     """The shared trained classifier (default reduced-scale config)."""
     return _store.load_or_train(config or PercivalConfig(), verbose=verbose)
+
+
+def get_worker_pool(
+    classifier: Optional[AdClassifier] = None,
+    num_workers: Optional[int] = None,
+) -> Optional[InferenceWorkerPool]:
+    """Sharded-inference pool of the module store, with ``classifier``
+    (default: the reference classifier) published.  ``None`` when
+    sharding is disabled — see :meth:`ModelStore.worker_pool`."""
+    if classifier is None:
+        classifier = get_reference_classifier()
+    return _store.worker_pool(classifier, num_workers)
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the module store's worker pool (idempotent)."""
+    _store.shutdown_pool()

@@ -1,0 +1,405 @@
+"""Multiprocess inference sharding.
+
+:class:`InferenceWorkerPool` owns N worker processes that each hold a
+private copy of the model and a compiled
+:class:`~repro.nn.inference.InferencePlan`.  The parent splits a
+memo-miss batch into per-worker sub-batches, scatters them over pipes,
+and gathers per-frame ad probabilities back in order — so a page's
+batched forward pass scales with cores instead of saturating one GIL.
+
+Weight handoff is the part worth reading twice:
+
+* ``publish()`` packs every parameter once into a single
+  ``multiprocessing.shared_memory`` segment (the model is < 2 MB) and
+  sends each worker only the segment *name* plus a
+  :class:`~repro.core.classifier.PlanExport` manifest — weights are
+  never pickled per call, and never per worker.
+* each worker attaches, **copies** the packed bytes into private
+  memory, and closes the segment immediately.  The copy is deliberate:
+  numpy views pinning a shared mmap would make
+  ``SharedMemory.close()`` raise ``BufferError`` ("cannot close
+  exported pointers exist") for the worker's whole lifetime.
+* publication is fingerprint-keyed.  Re-publishing the same weights is
+  a no-op; publishing after ``AdClassifier.load()``/``train()`` ships a
+  fresh segment and every worker recompiles its plan.
+
+Failure semantics: any worker death or timeout surfaces as
+:class:`WorkerPoolError`, which callers (``PercivalBlocker``) treat as
+"fall back to in-process inference" — a dying pool can slow a page
+down, never mis-classify it.  Dead workers are respawned on the next
+call.  Teardown (``close()``) is idempotent and also registered via
+``atexit``; the pool is a context manager.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classifier import AdClassifier, PlanExport
+
+
+class WorkerPoolError(RuntimeError):
+    """Sharded inference could not complete; callers fall back serial."""
+
+
+_DEFAULT_TIMEOUT_S = 60.0
+
+
+def _preferred_context() -> mp.context.BaseContext:
+    """Fork where available (cheap: no re-import of numpy per worker);
+    spawn elsewhere.  Workers rebuild their model from the shared
+    segment either way, so both start methods run the same code path.
+    """
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: (re)build the plan on ``plan``, score on ``run``.
+
+    Replies: ``("ready", fingerprint)`` after a successful plan build,
+    ``("result", task_id, probabilities)`` per sub-batch, and
+    ``("error", detail)`` / ``("error", task_id, detail)`` on failure —
+    the worker survives a failed request and keeps serving.
+    """
+    classifier: Optional[AdClassifier] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "plan":
+            _, export, segment_name = message
+            try:
+                segment = shared_memory.SharedMemory(name=segment_name)
+                try:
+                    classifier = AdClassifier.from_plan_export(export, segment.buf)
+                finally:
+                    segment.close()
+                conn.send(("ready", export.fingerprint))
+            except Exception as exc:
+                classifier = None
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        elif kind == "run":
+            _, task_id, batch = message
+            if classifier is None:
+                conn.send(("error", task_id, "no published weights"))
+                continue
+            try:
+                probabilities = classifier.predict_proba_tensor(batch)
+                conn.send(("result", task_id, probabilities))
+            except Exception as exc:
+                conn.send(("error", task_id, f"{type(exc).__name__}: {exc}"))
+        elif kind == "stop":
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, last-acked fingerprint."""
+
+    __slots__ = ("process", "conn", "fingerprint")
+
+    def __init__(self, process, conn: Connection) -> None:
+        self.process = process
+        self.conn = conn
+        self.fingerprint: Optional[str] = None
+
+
+class InferenceWorkerPool:
+    """A process pool sharding batched inference across cores."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        start_method: Optional[str] = None,
+        timeout_s: float = _DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(
+                "num_workers must be >= 1; use configured_worker_count()"
+                " == 0 (PERCIVAL_WORKERS=0) to disable sharding instead"
+            )
+        self.num_workers = int(num_workers)
+        self.timeout_s = float(timeout_s)
+        self._ctx = (
+            mp.get_context(start_method)
+            if start_method is not None
+            else _preferred_context()
+        )
+        self._workers: List[_Worker] = []
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._export: Optional[PlanExport] = None
+        self._task_counter = 0
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.process.is_alive())
+
+    @property
+    def published_fingerprint(self) -> Optional[str]:
+        """Fingerprint of the weights workers currently hold."""
+        return self._export.fingerprint if self._export else None
+
+    # ------------------------------------------------------------------
+    # Weight publication
+    # ------------------------------------------------------------------
+    def publish(self, classifier: AdClassifier) -> str:
+        """Ship ``classifier``'s weights to every worker.
+
+        Fingerprint-keyed: publishing unchanged weights to a healthy
+        pool is a no-op; publishing after the classifier's weights were
+        replaced (``load()``/``train()``) creates a fresh shared
+        segment and every worker recompiles its plan from it.  Returns
+        the published fingerprint.
+        """
+        self._ensure_open()
+        fingerprint = classifier.weights_fingerprint()
+        if self._export is None or self._export.fingerprint != fingerprint:
+            export = classifier.export_plan()
+            try:
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(export.total_bytes, 1)
+                )
+            except OSError as exc:
+                # e.g. /dev/shm full: a publication failure must surface
+                # as WorkerPoolError so callers fall back in-process
+                raise WorkerPoolError(
+                    f"could not create shared segment: {exc}"
+                ) from exc
+            try:
+                classifier.pack_weights_into(export, segment.buf)
+            except Exception as exc:
+                segment.close()
+                segment.unlink()
+                raise WorkerPoolError(f"could not pack weights: {exc}") from exc
+            self._retire_segment()
+            self._segment = segment
+            self._export = export
+        # same fingerprint: the live segment already holds these bytes;
+        # only dead/stale workers need (re)syncing, which is a no-op for
+        # a healthy pool.
+        self._sync_workers()
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Sharded inference
+    # ------------------------------------------------------------------
+    def predict_proba(self, batch: np.ndarray) -> np.ndarray:
+        """P(ad) for a preprocessed NCHW batch, sharded across workers.
+
+        Sub-batches are contiguous ``array_split`` slices, gathered in
+        scatter order, so the result aligns one-to-one with ``batch``.
+        Raises :class:`WorkerPoolError` on worker death or timeout —
+        never a silently wrong probability.  On any failure, workers
+        still holding an in-flight reply are drained (or discarded when
+        they cannot be), so one bad batch never poisons the pipes for
+        the next call.
+        """
+        self._ensure_open()
+        if self._export is None:
+            raise WorkerPoolError("no weights published; call publish()")
+        if batch.shape[0] == 0:
+            return np.empty(0, dtype=np.float32)
+        self._sync_workers()
+        shards = [
+            shard
+            for shard in np.array_split(batch, self.num_workers)
+            if shard.shape[0]
+        ]
+        in_flight: List[Tuple[_Worker, int]] = []
+        for worker, shard in zip(self._workers, shards):
+            self._task_counter += 1
+            task_id = self._task_counter
+            try:
+                worker.conn.send(("run", task_id, shard))
+            except (BrokenPipeError, OSError) as exc:
+                self._recover_in_flight(in_flight)
+                self._discard_worker(worker)
+                raise WorkerPoolError(f"worker died during scatter: {exc}") from exc
+            in_flight.append((worker, task_id))
+        gathered: List[np.ndarray] = []
+        for position, (worker, task_id) in enumerate(in_flight):
+            pending = in_flight[position + 1:]
+            try:
+                reply = self._recv(worker)
+            except WorkerPoolError:
+                self._discard_worker(worker)
+                self._recover_in_flight(pending)
+                raise
+            if reply[0] == "result" and reply[1] == task_id:
+                gathered.append(np.asarray(reply[2], dtype=np.float32))
+                continue
+            if reply[0] == "error" and len(reply) == 3 and reply[1] == task_id:
+                # clean failure: the worker consumed the task and its
+                # pipe stays in sync — only later workers need draining
+                self._recover_in_flight(pending)
+                raise WorkerPoolError(f"worker failed mid-batch: {reply[2]}")
+            # out-of-sync reply: this worker's pipe cannot be trusted
+            self._discard_worker(worker)
+            self._recover_in_flight(pending)
+            raise WorkerPoolError(
+                f"out-of-sync {reply[0]!r} reply from worker; discarded it"
+            )
+        return np.concatenate(gathered)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and release the shared segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        self._retire_segment()
+        self._export = None
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "InferenceWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise WorkerPoolError("worker pool is closed")
+
+    def _retire_segment(self) -> None:
+        if self._segment is None:
+            return
+        try:
+            self._segment.close()
+        finally:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+            self._segment = None
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name="percival-inference-worker",
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _sync_workers(self) -> None:
+        """Respawn dead workers; (re)send the plan to stale ones."""
+        if self._export is None or self._segment is None:
+            raise WorkerPoolError("no weights published; call publish()")
+        alive: List[_Worker] = []
+        for worker in self._workers:
+            if worker.process.is_alive():
+                alive.append(worker)
+            else:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+        while len(alive) < self.num_workers:
+            alive.append(self._spawn())
+        self._workers = alive
+        stale = [
+            worker
+            for worker in self._workers
+            if worker.fingerprint != self._export.fingerprint
+        ]
+        for worker in stale:
+            try:
+                worker.conn.send(("plan", self._export, self._segment.name))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerPoolError(
+                    f"worker died during weight publication: {exc}"
+                ) from exc
+        for worker in stale:
+            reply = self._recv(worker)
+            if reply[0] != "ready" or reply[1] != self._export.fingerprint:
+                raise WorkerPoolError(f"worker failed to build plan: {reply[-1]}")
+            worker.fingerprint = reply[1]
+
+    def _recover_in_flight(self, pending: List[Tuple[_Worker, int]]) -> None:
+        """Leave no poisoned pipes behind after a failed batch.
+
+        Each pending worker holds at most one outstanding reply; drain
+        it so the next ``predict_proba`` starts from clean pipes, and
+        discard any worker that cannot be drained within the timeout
+        (``_sync_workers`` respawns a replacement on the next call).
+        """
+        for worker, _task_id in pending:
+            try:
+                if worker.conn.poll(self.timeout_s):
+                    worker.conn.recv()
+                else:
+                    self._discard_worker(worker)
+            except (EOFError, OSError):
+                self._discard_worker(worker)
+
+    def _discard_worker(self, worker: _Worker) -> None:
+        """Kill a worker whose pipe state is unknown; it is filtered
+        out (and replaced) by the next ``_sync_workers``."""
+        try:
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _recv(self, worker: _Worker) -> tuple:
+        if not worker.conn.poll(self.timeout_s):
+            raise WorkerPoolError(
+                f"timed out after {self.timeout_s:.0f}s waiting on worker"
+            )
+        try:
+            return worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerPoolError(f"worker connection lost: {exc}") from exc

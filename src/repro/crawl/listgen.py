@@ -22,7 +22,7 @@ from urllib.parse import urlparse
 
 from repro.core.classifier import AdClassifier
 from repro.filterlist.engine import FilterEngine
-from repro.synth.webgen import Page, SyntheticWeb
+from repro.synth.webgen import Page
 
 
 @dataclass
@@ -101,8 +101,10 @@ def generate_block_list(
     generated = GeneratedList()
     domain_hosts = set()
     for host, (ads, total) in sorted(host_stats.items()):
-        if total >= min_domain_observations and \
-                ads / total >= domain_rule_threshold:
+        if (
+            total >= min_domain_observations
+            and ads / total >= domain_rule_threshold
+        ):
             domain_hosts.add(host)
             generated.domain_rules.append(f"||{host}^$image")
 

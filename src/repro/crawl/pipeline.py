@@ -25,7 +25,6 @@ from repro.core.preprocessing import preprocess_bitmap
 from repro.crawl.dedup import deduplicate
 from repro.data.dataset import LabeledImageDataset
 from repro.synth.webgen import SyntheticWeb
-from repro.utils.rng import spawn_rng
 
 
 @dataclass

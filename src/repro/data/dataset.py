@@ -10,7 +10,7 @@ and concatenation (the 8-phase crawl accumulates data across phases).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

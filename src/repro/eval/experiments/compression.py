@@ -19,10 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
 
-from repro.core.config import PercivalConfig
-from repro.core.classifier import AdClassifier
 from repro.data.corpus import CorpusConfig, build_training_corpus
 from repro.eval.reporting import format_table
 from repro.models.percivalnet import PercivalNet

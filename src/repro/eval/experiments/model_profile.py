@@ -16,7 +16,6 @@ fork vs full SqueezeNet, plus wall-clock latency of the full-size
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.browser.network import MockNetwork, NetworkConfig
-from repro.browser.renderer import BRAVE, CHROMIUM, Renderer, RenderMetrics
+from repro.browser.renderer import BRAVE, CHROMIUM, Renderer
 from repro.core.blocker import PercivalBlocker
 from repro.core.classifier import AdClassifier
 from repro.core.modelstore import get_reference_classifier

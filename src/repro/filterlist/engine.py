@@ -13,7 +13,7 @@ reads out (fraction of requests / elements matched).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 from urllib.parse import urlparse
 
@@ -88,16 +88,18 @@ class FilterEngine:
 
         matched: Optional[NetworkRule] = None
         for rule in self._block_index.candidates(url):
-            if rule.applies_to(page_domain, third_party, resource_type) and \
-                    rule.matches_url(url):
+            if rule.applies_to(
+                page_domain, third_party, resource_type
+            ) and rule.matches_url(url):
                 matched = rule
                 break
         if matched is None:
             return FilterDecision(blocked=False)
 
         for rule in self._exception_index.candidates(url):
-            if rule.applies_to(page_domain, third_party, resource_type) and \
-                    rule.matches_url(url):
+            if rule.applies_to(
+                page_domain, third_party, resource_type
+            ) and rule.matches_url(url):
                 return FilterDecision(blocked=False, rule=matched,
                                       exception=rule)
         self.stats.requests_blocked += 1
@@ -113,8 +115,9 @@ class FilterEngine:
         """First element-hiding rule matching the element, if any."""
         self.stats.elements_checked += 1
         for rule in self._hiding_rules:
-            if rule.applies_to(page_domain) and \
-                    rule.matches_element(tag, classes, element_id):
+            if rule.applies_to(page_domain) and rule.matches_element(
+                tag, classes, element_id
+            ):
                 self.stats.elements_hidden += 1
                 return rule
         return None

@@ -20,7 +20,7 @@ matched but unused by the image-focused experiments).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
 

@@ -8,7 +8,7 @@ here exactly as described.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

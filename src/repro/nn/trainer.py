@@ -9,7 +9,7 @@ step — with per-epoch metrics recorded for the crawl-phase experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

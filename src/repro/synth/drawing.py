@@ -113,7 +113,10 @@ def smooth_blobs(
         field = (field - field.min()) / span
     a = np.array(palette[0], dtype=np.float32)
     b = np.array(palette[1], dtype=np.float32)
-    img[..., :3] = a[None, None, :] * (1 - field[..., None]) + b[None, None, :] * field[..., None]
+    img[..., :3] = (
+        a[None, None, :] * (1 - field[..., None])
+        + b[None, None, :] * field[..., None]
+    )
     return img
 
 

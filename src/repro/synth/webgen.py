@@ -316,8 +316,10 @@ class SyntheticWeb:
             kind = sample_kind(rng)
         ad_intent = (float(rng.beta(1.0 + 6.0 * shift, 10.0))
                      if shift > 0 else float(rng.beta(1.0, 14.0)))
-        if config.content_pool_size > 0 and \
-                rng.random() < config.content_reuse_probability:
+        if (
+            config.content_pool_size > 0
+            and rng.random() < config.content_reuse_probability
+        ):
             # shared site asset: seed, kind and intent all derive from
             # the pool slot so the same URL always renders the same
             # pixels no matter which page references it

@@ -67,8 +67,10 @@ class TestBatchedDrain:
             assert fast.classify_cost_ms == pytest.approx(
                 reference.classify_cost_ms
             )
-            assert fast.images_blocked_by_percival \
+            assert (
+                fast.images_blocked_by_percival
                 == reference.images_blocked_by_percival
+            )
             assert fast.images_decoded == reference.images_decoded
 
     def test_drain_classifies_in_one_batch(self, small_web,

@@ -1,8 +1,7 @@
 """HTML parsing and DOM semantics."""
 
-import pytest
 
-from repro.browser.dom import Document, DomNode
+from repro.browser.dom import DomNode
 from repro.browser.html import parse_html
 
 

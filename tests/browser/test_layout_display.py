@@ -1,6 +1,5 @@
 """Layout tree and display-list generation."""
 
-import pytest
 
 from repro.browser.display_list import (
     DisplayItem,

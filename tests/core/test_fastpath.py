@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import AdClassifier, PercivalBlocker, PercivalConfig
+from repro.core import AdClassifier, PercivalBlocker
 
 
 @pytest.fixture()
@@ -121,8 +121,10 @@ class TestDecideMany:
         decisions = blocker.decide_many(bitmaps, keys=keys)
         assert len(decisions) == len(bitmaps)
         for key, decision in zip(keys, decisions):
-            assert blocker.memoized_verdict(bitmaps[0], key=key) \
+            assert (
+                blocker.memoized_verdict(bitmaps[0], key=key)
                 == decision.is_ad
+            )
 
     def test_mismatched_keys_rejected(self, reference_classifier,
                                       bitmaps):
@@ -162,5 +164,7 @@ class TestKeyedEntryPoints:
         key = blocker.fingerprint(bitmaps[0])
         assert blocker.memoized_verdict(bitmaps[0], key=key) is None
         decision = blocker.decide(bitmaps[0], key=key)
-        assert blocker.memoized_verdict(bitmaps[0], key=key) \
+        assert (
+            blocker.memoized_verdict(bitmaps[0], key=key)
             == decision.is_ad
+        )

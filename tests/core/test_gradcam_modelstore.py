@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.core import AdClassifier, GradCam, ModelStore, PercivalConfig
+from repro.core import GradCam, ModelStore, PercivalConfig
 from repro.synth.adgen import AdSpec, generate_ad
 from repro.utils.rng import spawn_rng
 

@@ -79,8 +79,10 @@ class TestPipelineCrawler:
             web, classifier=reference_classifier, seed=0,
         )
         dataset, stats = crawler.crawl(2, pages_per_site=1)
-        assert stats.bucketed_ads + stats.bucketed_nonads == \
-            stats.frames_captured
+        assert (
+            stats.bucketed_ads + stats.bucketed_nonads
+            == stats.frames_captured
+        )
         # buckets mostly agree with ground truth for a trained model
         truths = np.array([m["truth"] for m in dataset.metadata])
         agreement = (dataset.labels == truths).mean()

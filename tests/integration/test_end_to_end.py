@@ -1,6 +1,5 @@
 """End-to-end integration: the full pipeline, real model in the loop."""
 
-import numpy as np
 import pytest
 
 from repro.browser.network import MockNetwork, NetworkConfig

@@ -20,7 +20,6 @@ from repro.nn import (
     Identity,
     Layer,
     Linear,
-    MaxPool2d,
     ReLU,
     Sequential,
     UnsupportedLayerError,

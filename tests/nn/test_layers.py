@@ -10,7 +10,6 @@ from repro.nn import (
     GlobalAvgPool2d,
     Identity,
     Linear,
-    MaxPool2d,
     ReLU,
     Sequential,
 )

@@ -5,7 +5,6 @@ import pytest
 
 from repro.synth.webgen import (
     AD_NETWORKS,
-    Page,
     SyntheticWeb,
     WebConfig,
     url_registry,
