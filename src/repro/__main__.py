@@ -24,13 +24,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolved_config(args: argparse.Namespace):
+    """Config for subcommands with a ``--precision`` flag: the flag
+    wins, otherwise the ``PERCIVAL_PRECISION`` environment knob applies
+    (``None`` defers to the library default)."""
+    from repro.core import PercivalConfig
+
+    if getattr(args, "precision", None) is None:
+        return None
+    return PercivalConfig(precision=args.precision)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.core import PercivalBlocker, get_reference_classifier
     from repro.synth.adgen import AdSpec, generate_ad
     from repro.synth.contentgen import generate_content
     from repro.utils.rng import spawn_rng
 
-    blocker = PercivalBlocker(get_reference_classifier())
+    classifier = get_reference_classifier(_resolved_config(args))
+    print(f"precision: {classifier.effective_precision}")
+    blocker = PercivalBlocker(classifier)
     rng = spawn_rng(args.seed, "cli-classify")
     for index in range(args.count):
         if index % 2 == 0:
@@ -59,7 +72,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
         MockNetwork(url_registry(pages)),
     )
     blocker = PercivalBlocker(
-        get_reference_classifier(), calibrated_latency_ms=11.0
+        get_reference_classifier(_resolved_config(args)),
+        calibrated_latency_ms=11.0,
     )
     for page in pages:
         metrics = renderer.render(page, percival=blocker, mode=args.mode)
@@ -136,9 +150,16 @@ def main(argv: list | None = None) -> int:
 
     sub.add_parser("train", help="train/load the reference model")
 
+    precision_kwargs = dict(
+        choices=("fp32", "fp16", "int8"), default=None,
+        help="weight storage precision (same knob as "
+             "PERCIVAL_PRECISION; default fp32)",
+    )
+
     classify = sub.add_parser("classify", help="classify sample images")
     classify.add_argument("--count", type=int, default=8)
     classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument("--precision", **precision_kwargs)
 
     render = sub.add_parser("render", help="render pages with PERCIVAL")
     render.add_argument("--pages", type=int, default=5)
@@ -146,6 +167,7 @@ def main(argv: list | None = None) -> int:
     render.add_argument("--brave", action="store_true")
     render.add_argument("--mode", choices=("sync", "async"),
                         default="sync")
+    render.add_argument("--precision", **precision_kwargs)
 
     crawl = sub.add_parser("crawl", help="run the crawl/retrain loop")
     crawl.add_argument("--phases", type=int, default=3)

@@ -17,9 +17,17 @@ The paper's primary contribution, as a library:
   point experiments and examples share.
 """
 
-from repro.core.config import PercivalConfig, configured_worker_count
+from repro.core.config import (
+    PercivalConfig,
+    configured_precision,
+    configured_worker_count,
+)
 from repro.core.preprocessing import preprocess_bitmap, preprocess_batch
-from repro.core.classifier import AdClassifier, PlanExport
+from repro.core.classifier import (
+    AdClassifier,
+    PlanExport,
+    PrecisionRejectedError,
+)
 from repro.core.workerpool import InferenceWorkerPool, WorkerPoolError
 from repro.core.blocker import PercivalBlocker, BlockDecision
 from repro.core.gradcam import GradCam
@@ -33,11 +41,13 @@ from repro.core.revisit import RevisitMemory
 
 __all__ = [
     "PercivalConfig",
+    "configured_precision",
     "configured_worker_count",
     "preprocess_bitmap",
     "preprocess_batch",
     "AdClassifier",
     "PlanExport",
+    "PrecisionRejectedError",
     "InferenceWorkerPool",
     "WorkerPoolError",
     "PercivalBlocker",

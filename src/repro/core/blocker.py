@@ -22,6 +22,13 @@ Three hot-path refinements over the naive per-frame loop:
   memory).  Batches under ``shard_min_batch``, pool failures, and
   pool-less blockers all run the single-process fast path — sharding
   can only change *where* a probability is computed, never its value.
+
+Memoized verdicts are generation-keyed on the classifier's
+``weights_version``: a ``load()``/``train()`` (which also covers a
+precision change, since precision is fixed per classifier and folded
+into its weights fingerprint) clears the memo before the next lookup,
+so a cached verdict can never outlive the weights — or the storage
+precision — that produced it.
 """
 
 from __future__ import annotations
@@ -77,8 +84,22 @@ class PercivalBlocker:
         self.calibrated_latency_ms = float(calibrated_latency_ms)
         self._memo: "OrderedDict[str, BlockDecision]" = OrderedDict()
         self._memo_capacity = memo_capacity
+        #: weights generation the memo contents belong to; a mismatch
+        #: with the classifier's ``weights_version`` clears the memo
+        self._memo_version = classifier.weights_version
         self.classifications = 0
         self.blocks = 0
+
+    def _check_memo_generation(self) -> None:
+        """Drop memoized verdicts computed by replaced weights.
+
+        An integer compare per entry point — the cost of never serving
+        a verdict from weights (or a precision) that no longer exist.
+        """
+        version = self.classifier.weights_version
+        if version != self._memo_version:
+            self._memo.clear()
+            self._memo_version = version
 
     # ------------------------------------------------------------------
     # BlockerProtocol
@@ -100,6 +121,7 @@ class PercivalBlocker:
     def memoized_verdict(
         self, bitmap: np.ndarray, key: Optional[str] = None
     ) -> Optional[bool]:
+        self._check_memo_generation()
         key = key if key is not None else self.fingerprint(bitmap)
         cached = self._memo.get(key)
         if cached is None:
@@ -121,6 +143,7 @@ class PercivalBlocker:
         self, bitmap: np.ndarray, key: Optional[str] = None
     ) -> BlockDecision:
         """Full decision record for a bitmap, using the memo cache."""
+        self._check_memo_generation()
         key = key if key is not None else self.fingerprint(bitmap)
         cached = self._memo.get(key)
         if cached is not None:
@@ -147,6 +170,7 @@ class PercivalBlocker:
         count); their decisions report ``from_cache=False`` because the
         verdict was computed during this call.
         """
+        self._check_memo_generation()
         bitmaps = list(bitmaps)
         if keys is None:
             keys = [self.fingerprint(bitmap) for bitmap in bitmaps]

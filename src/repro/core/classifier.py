@@ -3,24 +3,46 @@
 from __future__ import annotations
 
 import hashlib
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import PercivalConfig
+from repro.core.config import PercivalConfig, configured_precision
 from repro.core.preprocessing import preprocess_batch, preprocess_bitmap
 from repro.models.percivalnet import LABEL_AD, PercivalNet, build_percival_net
 from repro.models.zoo import model_size_mb
 from repro.nn import Trainer, TrainConfig, TrainReport, softmax
+from repro.nn.artifact import ManifestRow, WeightArtifact
 from repro.nn.inference import (
     InferencePlan,
     UnsupportedLayerError,
     compile_inference,
 )
+from repro.nn.quantize import FP32
 from repro.nn.serialization import load_weights, save_weights
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rng
 from repro.utils.timing import measure_latency
+
+_logger = get_logger("repro.core.classifier")
+
+#: fast-path-vs-reference equivalence tolerance at fp32 — the
+#: bit-for-bit pipeline, where only kernel reassociation differs.
+#: Quantized precisions derive their tolerance from the calibration
+#: gate bound (see :attr:`AdClassifier.fast_path_tolerance`), so a
+#: gate-accepted artifact can never fail the equivalence suite.
+_FP32_EQUIVALENCE_TOLERANCE = 1e-5
+#: headroom multiplier over the gate bound for non-calibration inputs
+_QUANTIZED_TOLERANCE_HEADROOM = 5.0
+
+#: frames in the deterministic held-out calibration batch the
+#: quantization gate scores (seeded per config, never training data)
+_CALIBRATION_FRAMES = 16
+
+
+class PrecisionRejectedError(RuntimeError):
+    """A quantized artifact failed the calibration accuracy gate."""
 
 
 @dataclass(frozen=True)
@@ -31,16 +53,21 @@ class PlanExport:
     are deterministic per configuration); the weights travel separately
     as one flat byte buffer — typically a ``multiprocessing``
     shared-memory segment — described by ``manifest``: one
-    ``(name, shape, dtype, offset)`` row per parameter, in the
-    network's own ``parameters()`` order.  ``fingerprint`` identifies
-    the published weights so pools can detect staleness after
-    ``load()``/``train()`` without reshipping anything.
+    ``(name, shape, storage dtype, offset, per-channel scales)`` row
+    per parameter, in the network's own ``parameters()`` order (the
+    :class:`~repro.nn.artifact.WeightArtifact` manifest).
+    ``precision`` is the artifact's *effective* storage precision, so a
+    worker materializes exactly the bytes the parent compiled with.
+    ``fingerprint`` identifies the published weights-at-precision so
+    pools can detect staleness after ``load()``/``train()`` — and never
+    mix precisions — without reshipping anything.
     """
 
     config: PercivalConfig
-    manifest: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+    manifest: Tuple[ManifestRow, ...]
     total_bytes: int
     fingerprint: str
+    precision: str = FP32
 
 
 class AdClassifier:
@@ -56,6 +83,14 @@ class AdClassifier:
     invalidated whenever the weights may have been replaced
     (``train()``/``load()``).  Training and Grad-CAM keep using the
     layer-by-layer graph.
+
+    The plan's weights come from a precision-aware
+    :class:`~repro.nn.artifact.WeightArtifact`: ``fp32`` (the default)
+    compiles straight from the live parameter views — bit-for-bit the
+    pre-precision pipeline — while ``fp16``/``int8`` (via
+    ``PercivalConfig.precision`` or the ``PERCIVAL_PRECISION`` knob)
+    quantize at compile time behind a calibration accuracy gate that
+    falls back to fp32 whenever quantization would move verdicts.
     """
 
     def __init__(
@@ -71,6 +106,8 @@ class AdClassifier:
             width=self.config.width,
         )
         self.network.eval()
+        #: requested storage precision of the inference weight artifact
+        self.precision = configured_precision(self.config.precision)
         self._plan: Optional[InferencePlan] = None
         self._plan_supported = True
         #: bumped on every invalidation; lets worker pools detect that
@@ -78,6 +115,8 @@ class AdClassifier:
         self.weights_version = 0
         self._fingerprint: Optional[str] = None
         self._fingerprint_version = -1
+        self._artifact: Optional[WeightArtifact] = None
+        self._artifact_version = -1
 
     # ------------------------------------------------------------------
     # Compiled fast path
@@ -86,19 +125,161 @@ class AdClassifier:
     def inference_plan(self) -> Optional[InferencePlan]:
         """The compiled eval-mode plan (None if the network contains a
         layer the compiler cannot lower — scoring then falls back to the
-        layer-by-layer path)."""
+        layer-by-layer path).
+
+        ``fp32`` compiles from the live parameter views (in-place SGD
+        updates flow through); quantized precisions compile from the
+        gated weight artifact — a snapshot, covered by the same
+        ``invalidate_plan`` contract.
+        """
         if self._plan is None and self._plan_supported:
             try:
-                self._plan = compile_inference(self.network)
+                artifact = None
+                if self.precision != FP32:
+                    candidate = self.weight_artifact()
+                    if candidate.precision != FP32:
+                        artifact = candidate
+                self._plan = compile_inference(
+                    self.network, artifact=artifact
+                )
             except UnsupportedLayerError:
                 self._plan_supported = False
         return self._plan
 
     def invalidate_plan(self) -> None:
-        """Discard the compiled plan (after weight replacement)."""
+        """Discard the compiled plan and the cached weight artifact
+        (after weight replacement)."""
         self._plan = None
         self._plan_supported = True
         self.weights_version += 1
+
+    # ------------------------------------------------------------------
+    # Precision artifacts
+    # ------------------------------------------------------------------
+    @property
+    def effective_precision(self) -> str:
+        """The storage precision actually in effect: the requested one,
+        or ``fp32`` when the calibration gate rejected it."""
+        if self.precision == FP32:
+            return FP32
+        return self.weight_artifact().precision
+
+    @property
+    def fast_path_tolerance(self) -> float:
+        """Max fast-path-vs-reference probability delta to assert in
+        equivalence tests, given the effective storage precision.
+
+        Quantized precisions scale the calibration gate's drift bound
+        by a headroom factor (the gate scores a held-out batch;
+        arbitrary inputs can drift somewhat further), so the
+        equivalence suite stays consistent with whatever the gate
+        accepted — including user-tuned ``quantization_drift_tolerance``.
+        """
+        if self.effective_precision == FP32:
+            return _FP32_EQUIVALENCE_TOLERANCE
+        return (
+            _QUANTIZED_TOLERANCE_HEADROOM
+            * self.config.quantization_drift_tolerance
+        )
+
+    def weight_artifact(self) -> WeightArtifact:
+        """The current weights packed at this classifier's precision.
+
+        Cached per ``weights_version`` (same staleness contract as the
+        compiled plan).  Non-fp32 artifacts pass the calibration gate
+        before they are adopted; a rejected precision falls back to an
+        fp32 artifact, and ``effective_precision`` reports the
+        downgrade.
+        """
+        if (
+            self._artifact is None
+            or self._artifact_version != self.weights_version
+        ):
+            self._artifact = self._build_artifact()
+            self._artifact_version = self.weights_version
+        return self._artifact
+
+    def _build_artifact(self) -> WeightArtifact:
+        if self.precision == FP32:
+            return WeightArtifact.from_network(self.network, FP32)
+        candidate = WeightArtifact.from_network(
+            self.network, self.precision
+        )
+        try:
+            self._calibrate_artifact(candidate)
+        except PrecisionRejectedError as exc:
+            _logger.warning(
+                "precision %s rejected by the calibration gate "
+                "(%s); falling back to fp32 weights", self.precision, exc
+            )
+            return WeightArtifact.from_network(self.network, FP32)
+        return candidate
+
+    def calibration_batch(self) -> np.ndarray:
+        """The deterministic held-out batch the quantization gate
+        scores: freshly synthesized ad and content frames (seeded per
+        configuration, disjoint from any training or evaluation
+        corpus), preprocessed like every render-pipeline frame.
+
+        Representative frames matter: quantization noise in the logits
+        moves P(ad) most where predictions sit mid-range, so gating on
+        the frame distribution the blocker actually scores is what
+        makes the drift bound meaningful.
+        """
+        # synth generators are a leaf dependency of the data pipeline;
+        # imported here so the core classifier stays importable without
+        # dragging the generators in for fp32-only deployments
+        from repro.synth.adgen import AdSpec, generate_ad
+        from repro.synth.contentgen import generate_content
+
+        rng = spawn_rng(self.config.seed, "precision-calibration")
+        frames = []
+        for _ in range(_CALIBRATION_FRAMES // 2):
+            frames.append(generate_ad(rng, AdSpec()))
+            frames.append(generate_content(rng))
+        return preprocess_batch(frames, self.config.input_size)
+
+    def _calibrate_artifact(self, candidate: WeightArtifact) -> None:
+        """Accuracy gate: compare the candidate's plan against the fp32
+        plan on the calibration batch.  Raises
+        :class:`PrecisionRejectedError` when the max P(ad) drift
+        exceeds ``config.quantization_drift_tolerance`` or any verdict
+        flips at the blocking threshold.
+        """
+        try:
+            reference_plan = compile_inference(self.network)
+            candidate_plan = compile_inference(
+                self.network, artifact=candidate
+            )
+        except UnsupportedLayerError as exc:
+            raise PrecisionRejectedError(
+                f"network has no compiled lowering to gate against: {exc}"
+            ) from exc
+        batch = self.calibration_batch()
+        reference = softmax(reference_plan.run(batch), axis=1)[:, LABEL_AD]
+        quantized = softmax(candidate_plan.run(batch), axis=1)[:, LABEL_AD]
+        drift = float(np.abs(reference - quantized).max())
+        tolerance = self.config.quantization_drift_tolerance
+        if drift > tolerance:
+            raise PrecisionRejectedError(
+                f"max P(ad) drift {drift:.2e} exceeds the calibration "
+                f"tolerance {tolerance:.2e}"
+            )
+        threshold = self.config.ad_threshold
+        flips = int(
+            ((reference >= threshold) != (quantized >= threshold)).sum()
+        )
+        if flips:
+            raise PrecisionRejectedError(
+                f"{flips} calibration verdict(s) flipped at "
+                f"threshold {threshold}"
+            )
+
+    def _install_artifact(self, artifact: WeightArtifact) -> None:
+        """Adopt an already-materialized artifact (worker import): the
+        gate ran parent-side, so the bytes are taken as published."""
+        self._artifact = artifact
+        self._artifact_version = self.weights_version
 
     def _forward_eval(
         self, batch: np.ndarray, fast_path: bool = True
@@ -112,20 +293,24 @@ class AdClassifier:
     # Plan export/import (multiprocess sharding)
     # ------------------------------------------------------------------
     def weights_fingerprint(self) -> str:
-        """Stable digest of the current weights.
+        """Stable digest of the current weights *at this precision*.
 
         Cached per ``weights_version``, so repeated calls on the hot
         path (the blocker checks it before every sharded batch) cost a
-        dict lookup, not a re-hash.  The same staleness contract as the
-        compiled plan applies: direct in-place mutation of
-        ``network.parameters()`` outside ``train()``/``load()`` must be
-        followed by ``invalidate_plan()``.
+        dict lookup, not a re-hash.  The requested precision is folded
+        into the digest, so pool publications and memo generations can
+        never mix artifacts of different precisions under one key.  The
+        same staleness contract as the compiled plan applies: direct
+        in-place mutation of ``network.parameters()`` outside
+        ``train()``/``load()`` must be followed by
+        ``invalidate_plan()``.
         """
         if (
             self._fingerprint is None
             or self._fingerprint_version != self.weights_version
         ):
             hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(self.precision.encode())
             for param in self.network.parameters():
                 hasher.update(param.name.encode())
                 hasher.update(str(param.data.shape).encode())
@@ -136,48 +321,50 @@ class AdClassifier:
         return self._fingerprint
 
     def export_plan(self) -> PlanExport:
-        """Manifest for shipping this classifier's plan to a worker."""
-        manifest = []
-        offset = 0
-        for param in self.network.parameters():
-            data = param.data
-            manifest.append(
-                (param.name, tuple(data.shape), data.dtype.str, offset)
-            )
-            offset += int(data.nbytes)
+        """Manifest for shipping this classifier's plan to a worker.
+
+        Built from the weight artifact, so the manifest rows carry the
+        *storage* dtypes (and per-channel scales) and ``total_bytes``
+        is the packed-quantized size — an int8 publication ships a
+        roughly 4x smaller shared-memory segment than fp32.
+        """
+        artifact = self.weight_artifact()
         return PlanExport(
             config=self.config,
-            manifest=tuple(manifest),
-            total_bytes=offset,
+            manifest=artifact.manifest_rows(),
+            total_bytes=artifact.nbytes,
             fingerprint=self.weights_fingerprint(),
+            precision=artifact.precision,
         )
 
     def pack_weights_into(self, export: PlanExport, buffer) -> None:
-        """Write the weights into ``buffer`` per ``export``'s manifest.
+        """Write the packed weight artifact into ``buffer`` per
+        ``export``'s manifest.
 
         ``buffer`` is any writable buffer of at least
         ``export.total_bytes`` bytes — in the sharded deployment, a
         ``multiprocessing.shared_memory`` segment's ``buf``.
         """
-        params = self.network.parameters()
-        if len(params) != len(export.manifest):
+        if export.fingerprint != self.weights_fingerprint():
+            raise ValueError(
+                "export fingerprint does not match the current weights "
+                "— re-export after load()/train()"
+            )
+        artifact = self.weight_artifact()
+        if len(export.manifest) != len(artifact.entries):
             raise ValueError(
                 f"manifest rows ({len(export.manifest)}) do not match "
-                f"network parameters ({len(params)})"
+                f"artifact entries ({len(artifact.entries)})"
             )
-        for param, (name, shape, dtype, offset) in zip(
-            params, export.manifest
-        ):
-            if tuple(param.data.shape) != tuple(shape):
-                raise ValueError(
-                    f"shape mismatch packing {name}: "
-                    f"{param.data.shape} vs {shape}"
-                )
-            count = math.prod(shape) if shape else 1
-            target = np.frombuffer(
-                buffer, dtype=np.dtype(dtype), count=count, offset=offset
-            ).reshape(shape)
-            target[...] = param.data
+        if export.total_bytes != artifact.nbytes:
+            raise ValueError(
+                f"export expects {export.total_bytes} bytes, current "
+                f"artifact packs {artifact.nbytes} — stale export?"
+            )
+        target = np.frombuffer(
+            buffer, dtype=np.uint8, count=artifact.nbytes
+        )
+        target[...] = artifact.buffer
 
     @classmethod
     def from_plan_export(cls, export: PlanExport, buffer) -> "AdClassifier":
@@ -188,34 +375,23 @@ class AdClassifier:
         views are taken, so the caller may close/unlink the shared
         segment as soon as this returns — numpy views pinning a shared
         mmap would otherwise make ``SharedMemory.close()`` impossible.
+        Non-fp32 manifests dequantize into the network's fp32
+        parameters and install the artifact directly, so the worker's
+        compiled plan computes over exactly the bytes the parent
+        published — no re-quantization, no second calibration gate.
         """
         classifier = cls(export.config)
-        params = classifier.network.parameters()
-        if len(params) != len(export.manifest):
-            raise ValueError(
-                f"manifest rows ({len(export.manifest)}) do not match "
-                f"network parameters ({len(params)})"
-            )
-        packed = np.frombuffer(
-            buffer, dtype=np.uint8, count=export.total_bytes
-        ).copy()
-        for param, (name, shape, dtype, offset) in zip(
-            params, export.manifest
-        ):
-            nbytes = math.prod(shape) * np.dtype(dtype).itemsize
-            view = (
-                packed[offset:offset + nbytes]
-                .view(np.dtype(dtype))
-                .reshape(shape)
-            )
-            if view.shape != param.data.shape:
-                raise ValueError(
-                    f"shape mismatch importing {name}: "
-                    f"{param.data.shape} vs {view.shape}"
-                )
-            param.data = view
+        artifact = WeightArtifact.from_manifest(
+            export.manifest,
+            buffer,
+            precision=export.precision,
+            total_bytes=export.total_bytes,
+        )
+        artifact.load_into(classifier.network)
         classifier.network.eval()
         classifier.invalidate_plan()
+        classifier.precision = export.precision
+        classifier._install_artifact(artifact)
         return classifier
 
     # ------------------------------------------------------------------
@@ -299,8 +475,11 @@ class AdClassifier:
     # ------------------------------------------------------------------
     # Persistence and accounting
     # ------------------------------------------------------------------
-    def save(self, path: str) -> None:
-        save_weights(self.network, path)
+    def save(self, path: str, precision: str = "fp32") -> None:
+        """Persist the weights.  ``precision`` selects the storage form
+        of the archive (default fp32 — full fidelity); quantized
+        archives dequantize transparently on :meth:`load`."""
+        save_weights(self.network, path, precision=precision)
 
     def load(self, path: str) -> None:
         load_weights(self.network, path)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, asdict
 
+from repro.nn.quantize import validate_precision
+
 
 @dataclass(frozen=True)
 class PercivalConfig:
@@ -35,6 +37,16 @@ class PercivalConfig:
     #: scatter across the worker pool; smaller batches stay in-process
     #: (scatter/gather IPC would cost more than it saves).
     shard_min_batch: int = 32
+    #: storage precision of the inference weight artifact
+    #: (``fp32``/``fp16``/``int8``); None defers to the
+    #: ``PERCIVAL_PRECISION`` environment knob (see
+    #: :func:`configured_precision`).  Compute stays fp32 either way —
+    #: this selects what ships, persists, and stays resident.
+    precision: str | None = None
+    #: calibration gate: maximum P(ad) drift vs. the fp32 reference a
+    #: quantized artifact may show on the held-out calibration batch
+    #: before the precision is rejected (falls back to fp32).
+    quantization_drift_tolerance: float = 1e-2
 
     @classmethod
     def paper(cls) -> "PercivalConfig":
@@ -49,6 +61,8 @@ class PercivalConfig:
         payload.pop("ad_threshold")
         payload.pop("num_workers")
         payload.pop("shard_min_batch")
+        payload.pop("precision")
+        payload.pop("quantization_drift_tolerance")
         return payload
 
 
@@ -75,3 +89,21 @@ def configured_worker_count(explicit: int | None = None) -> int:
             f"PERCIVAL_WORKERS must be an integer or 'auto', got {raw!r}"
         ) from exc
     return max(value, 0)
+
+
+def configured_precision(explicit: str | None = None) -> str:
+    """Resolve the ``PERCIVAL_PRECISION`` knob to a precision name.
+
+    Resolution order: an ``explicit`` value (e.g.
+    ``PercivalConfig.precision``) wins; otherwise the
+    ``PERCIVAL_PRECISION`` environment variable is consulted, where
+    unset/empty means ``fp32`` — the bit-for-bit default pipeline.
+    Anything outside ``fp32``/``fp16``/``int8`` raises ``ValueError``.
+    """
+    if explicit is not None:
+        return validate_precision(explicit)
+    raw = os.environ.get("PERCIVAL_PRECISION", "").strip() or "fp32"
+    try:
+        return validate_precision(raw)
+    except ValueError as exc:
+        raise ValueError(f"invalid PERCIVAL_PRECISION: {exc}") from exc

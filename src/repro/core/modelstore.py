@@ -12,9 +12,13 @@ donor, then fine-tune on a balanced crawled corpus.
 The store also owns the sharded-inference worker pool
 (:class:`~repro.core.workerpool.InferenceWorkerPool`): ``worker_pool``
 hands out a pool with the given classifier's weights published,
-re-publishing (fingerprint-keyed) whenever the classifier loaded or
-trained new weights since the last publication — workers then rebuild
-their compiled plans from the fresh shared-memory segment.
+re-publishing (fingerprint-keyed, precision included) whenever the
+classifier loaded or trained new weights — or runs at a different
+storage precision — since the last publication; workers then rebuild
+their compiled plans from the fresh shared-memory segment.  Cached
+weights are always written fp32 (full fidelity); the precision knob
+quantizes at plan-compile time, so one cache entry serves every
+precision.
 """
 
 from __future__ import annotations
@@ -96,11 +100,13 @@ class ModelStore:
         auto = cores - 1).  Returns ``None`` when the resolved count is
         0 — sharding disabled, callers run the single-process path.
 
-        Publication is fingerprint-keyed: calling again after
-        ``classifier.load()`` (or training) ships the new weights and
-        every worker recompiles its plan; calling with unchanged
-        weights is a no-op.  The pool is shared across calls and torn
-        down by :meth:`shutdown_pool` (also wired to ``atexit``).
+        Publication is fingerprint-keyed (weights *and* storage
+        precision): calling again after ``classifier.load()`` (or
+        training), or with a classifier at another precision, ships
+        the new artifact and every worker recompiles its plan; calling
+        with unchanged weights is a no-op.  The pool is shared across
+        calls and torn down by :meth:`shutdown_pool` (also wired to
+        ``atexit``).
         """
         if num_workers is None:
             num_workers = classifier.config.num_workers

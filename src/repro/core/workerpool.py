@@ -9,19 +9,29 @@ batched forward pass scales with cores instead of saturating one GIL.
 
 Weight handoff is the part worth reading twice:
 
-* ``publish()`` packs every parameter once into a single
-  ``multiprocessing.shared_memory`` segment (the model is < 2 MB) and
-  sends each worker only the segment *name* plus a
-  :class:`~repro.core.classifier.PlanExport` manifest — weights are
-  never pickled per call, and never per worker.
+* ``publish()`` ships the classifier's packed
+  :class:`~repro.nn.artifact.WeightArtifact` buffer once into a single
+  ``multiprocessing.shared_memory`` segment (the model is < 2 MB at
+  fp32, ~4x smaller again at int8 storage) and sends each worker only
+  the segment *name* plus a
+  :class:`~repro.core.classifier.PlanExport` manifest (storage dtypes
+  and per-channel scales per parameter) — weights are never pickled
+  per call, and never per worker.
 * each worker attaches, **copies** the packed bytes into private
   memory, and closes the segment immediately.  The copy is deliberate:
   numpy views pinning a shared mmap would make
   ``SharedMemory.close()`` raise ``BufferError`` ("cannot close
   exported pointers exist") for the worker's whole lifetime.
-* publication is fingerprint-keyed.  Re-publishing the same weights is
-  a no-op; publishing after ``AdClassifier.load()``/``train()`` ships a
-  fresh segment and every worker recompiles its plan.
+  Quantized manifests dequantize worker-side into the rebuilt
+  network, so per-worker shipped bytes shrink with the precision while
+  every worker computes over exactly the bytes the parent compiled
+  with (the calibration gate runs once, parent-side).
+* publication is fingerprint-keyed, and the fingerprint covers the
+  storage precision.  Re-publishing the same weights is a no-op;
+  publishing after ``AdClassifier.load()``/``train()`` — or from a
+  classifier at a different precision — ships a fresh segment and
+  every worker recompiles its plan.  A pool can therefore never mix
+  precisions across a publication.
 
 Failure semantics: any worker death or timeout surfaces as
 :class:`WorkerPoolError`, which callers (``PercivalBlocker``) treat as

@@ -12,7 +12,11 @@ operator set directly on numpy:
 * weight initialization, ``.npz`` serialization, and a training loop,
 * a compiled inference fast path (``compile_inference``): fused,
   cache-free kernels for eval-mode forward passes (see
-  ``repro.nn.inference`` and ``docs/inference.md``).
+  ``repro.nn.inference`` and ``docs/inference.md``),
+* precision-aware weight artifacts (``repro.nn.artifact`` +
+  ``repro.nn.quantize``): fp32/fp16/int8 storage with per-channel
+  scales, one packed buffer shared by plan compilation, serialization,
+  and the shared-memory worker handoff.
 
 Layout convention is NCHW throughout. Every layer implements
 ``forward``/``backward`` explicitly (no taped autograd) which keeps the
@@ -34,6 +38,13 @@ from repro.nn.layers import (
 )
 from repro.nn.fire import FireModule
 from repro.nn.network import Sequential
+from repro.nn.artifact import ArtifactEntry, WeightArtifact
+from repro.nn.quantize import (
+    PRECISIONS,
+    dequantize_array,
+    quantize_array,
+    validate_precision,
+)
 from repro.nn.inference import (
     InferencePlan,
     UnsupportedLayerError,
@@ -59,6 +70,12 @@ __all__ = [
     "Identity",
     "FireModule",
     "Sequential",
+    "ArtifactEntry",
+    "WeightArtifact",
+    "PRECISIONS",
+    "dequantize_array",
+    "quantize_array",
+    "validate_precision",
     "InferencePlan",
     "UnsupportedLayerError",
     "compile_inference",

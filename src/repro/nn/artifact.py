@@ -1,0 +1,252 @@
+"""Precision-aware weight artifacts.
+
+A :class:`WeightArtifact` is the single representation of "a network's
+weights at a storage precision" shared by every byte-moving layer of
+the system:
+
+* the plan compiler (``compile_inference(network, artifact=...)``)
+  dequantizes each parameter into its GEMM layout once at compile time,
+* the shared-memory worker handoff ships ``artifact.buffer`` through
+  one segment and rebuilds with :meth:`WeightArtifact.from_manifest` +
+  :meth:`load_into` on the worker side,
+* ``repro.nn.serialization`` persists the same storage arrays + scales
+  to ``.npz``.
+
+The artifact holds **one packed byte buffer** plus a per-parameter
+manifest: ``(name, shape, storage dtype, offset, per-channel scales)``
+rows in the network's own ``parameters()`` order.  Quantization policy
+(which dtypes, which tensors keep fp32, scale math) lives in
+``repro.nn.quantize``; this module only packages and moves bytes.
+
+Compute precision never changes: dequantization back to fp32 happens
+exactly once per consumer (plan compile, network rebuild), so the hot
+loop runs the same fp32 GEMMs over smaller *resident/shipped* weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.network import Sequential
+from repro.nn.quantize import (
+    dequantize_array,
+    quantize_array,
+    validate_precision,
+)
+from repro.nn.tensor import Parameter
+
+#: one manifest row as it travels inside a ``PlanExport``:
+#: (name, shape, storage dtype str, byte offset, per-channel scales)
+ManifestRow = Tuple[
+    str, Tuple[int, ...], str, int, Optional[Tuple[float, ...]]
+]
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """Manifest row for one parameter inside the packed buffer."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str  # numpy dtype.str of the *storage* form
+    offset: int
+    scales: Optional[Tuple[float, ...]]  # int8 per-channel, else None
+
+    @property
+    def count(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+    def row(self) -> ManifestRow:
+        return (self.name, self.shape, self.dtype, self.offset, self.scales)
+
+
+class WeightArtifact:
+    """One packed weight buffer plus its per-parameter manifest."""
+
+    def __init__(
+        self,
+        precision: str,
+        entries: Sequence[ArtifactEntry],
+        buffer: np.ndarray,
+    ) -> None:
+        self.precision = validate_precision(precision)
+        self.entries: Tuple[ArtifactEntry, ...] = tuple(entries)
+        self.buffer = np.ascontiguousarray(buffer, dtype=np.uint8).reshape(-1)
+        for entry in self.entries:
+            if entry.offset + entry.nbytes > self.buffer.size:
+                raise ValueError(
+                    f"manifest row {entry.name} overruns the packed "
+                    f"buffer ({entry.offset + entry.nbytes} > "
+                    f"{self.buffer.size} bytes)"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls, network: Sequential, precision: str
+    ) -> "WeightArtifact":
+        """Lower every parameter of ``network`` to ``precision`` and
+        pack the storage forms into one contiguous buffer."""
+        precision = validate_precision(precision)
+        stored_arrays: List[np.ndarray] = []
+        entries: List[ArtifactEntry] = []
+        offset = 0
+        for param in network.parameters():
+            stored, scales = quantize_array(param.data, precision)
+            entries.append(ArtifactEntry(
+                name=param.name,
+                shape=tuple(param.data.shape),
+                dtype=stored.dtype.str,
+                offset=offset,
+                scales=(
+                    None if scales is None
+                    else tuple(float(s) for s in scales)
+                ),
+            ))
+            stored_arrays.append(stored)
+            offset += int(stored.nbytes)
+        buffer = np.empty(offset, dtype=np.uint8)
+        for entry, stored in zip(entries, stored_arrays):
+            buffer[entry.offset:entry.offset + entry.nbytes] = np.frombuffer(
+                stored.tobytes(), dtype=np.uint8
+            )
+        return cls(precision, entries, buffer)
+
+    @classmethod
+    def from_manifest(
+        cls,
+        rows: Sequence[ManifestRow],
+        buffer,
+        precision: str,
+        total_bytes: Optional[int] = None,
+    ) -> "WeightArtifact":
+        """Rebuild an artifact from manifest rows and a packed buffer
+        (the worker-side import).
+
+        The bytes are **copied** out of ``buffer`` before any views are
+        taken, so the caller may close/unlink a shared-memory segment
+        as soon as this returns.
+        """
+        entries = [
+            ArtifactEntry(
+                name=name,
+                shape=tuple(shape),
+                dtype=dtype,
+                offset=int(offset),
+                scales=None if scales is None else tuple(scales),
+            )
+            for name, shape, dtype, offset, scales in rows
+        ]
+        size = (
+            int(total_bytes)
+            if total_bytes is not None
+            else max(
+                (e.offset + e.nbytes for e in entries), default=0
+            )
+        )
+        packed = np.frombuffer(buffer, dtype=np.uint8, count=size).copy()
+        return cls(precision, entries, packed)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed storage buffer (what ships/persists)."""
+        return int(self.buffer.size)
+
+    def manifest_rows(self) -> Tuple[ManifestRow, ...]:
+        return tuple(entry.row() for entry in self.entries)
+
+    def stored(self, index: int) -> np.ndarray:
+        """Storage-dtype view of one parameter inside the buffer."""
+        entry = self.entries[index]
+        return (
+            self.buffer[entry.offset:entry.offset + entry.nbytes]
+            .view(np.dtype(entry.dtype))
+            .reshape(entry.shape)
+        )
+
+    def dequantized(self, index: int) -> np.ndarray:
+        """fp32 reconstruction of one parameter (a fresh array for
+        non-fp32 storage; a view of the buffer for fp32 passthrough)."""
+        entry = self.entries[index]
+        scales = (
+            None if entry.scales is None
+            else np.asarray(entry.scales, dtype=np.float32)
+        )
+        return dequantize_array(self.stored(index), scales)
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def load_into(self, network: Sequential) -> None:
+        """Write dequantized fp32 values into ``network``'s parameters.
+
+        Positional, like every other weight mover in this repo —
+        ``parameters()`` order is deterministic per architecture.
+        Raises :class:`ValueError` on any count or shape mismatch.
+        """
+        params = network.parameters()
+        if len(params) != len(self.entries):
+            raise ValueError(
+                f"manifest rows ({len(self.entries)}) do not match "
+                f"network parameters ({len(params)})"
+            )
+        for index, (param, entry) in enumerate(zip(params, self.entries)):
+            if tuple(param.data.shape) != entry.shape:
+                raise ValueError(
+                    f"shape mismatch loading {entry.name}: "
+                    f"{param.data.shape} vs {entry.shape}"
+                )
+            param.data[...] = self.dequantized(index)
+
+    def bind(
+        self, network: Sequential
+    ) -> Callable[[Parameter], np.ndarray]:
+        """Resolver mapping ``network``'s parameters to their fp32
+        reconstructions, for the plan compiler.
+
+        Binding is positional against ``parameters()`` order with a
+        per-parameter shape check, so the artifact can come from a
+        different process (worker import) as long as the architecture
+        matches.  The returned callable is what ``compile_inference``
+        uses in place of live ``Parameter.data`` views.
+        """
+        params = network.parameters()
+        if len(params) != len(self.entries):
+            raise ValueError(
+                f"cannot bind artifact with {len(self.entries)} rows to "
+                f"a network with {len(params)} parameters"
+            )
+        table: Dict[int, np.ndarray] = {}
+        for index, (param, entry) in enumerate(zip(params, self.entries)):
+            if tuple(param.data.shape) != entry.shape:
+                raise ValueError(
+                    f"shape mismatch binding {entry.name}: "
+                    f"{param.data.shape} vs {entry.shape}"
+                )
+            table[id(param)] = np.ascontiguousarray(
+                self.dequantized(index), dtype=np.float32
+            )
+
+        def resolve(param: Parameter) -> np.ndarray:
+            try:
+                return table[id(param)]
+            except KeyError:
+                raise ValueError(
+                    f"parameter {param.name!r} is not part of the bound "
+                    "network"
+                ) from None
+
+        return resolve

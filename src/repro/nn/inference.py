@@ -27,6 +27,15 @@ views, but anything that can reassign the underlying arrays (training,
 weight loading) must discard the plan and recompile — ``AdClassifier``
 invalidates on ``train()``/``load()``.  Grad-CAM and training keep
 using the layer-by-layer graph, which is unchanged.
+
+Passing a :class:`~repro.nn.artifact.WeightArtifact` to
+:func:`compile_inference` compiles the plan from the artifact's weights
+instead of the live parameters: each op dequantizes-or-casts its
+parameter into its GEMM layout **once at compile time**, so the hot
+loop runs the identical fp32 kernels while the artifact's packed
+(possibly fp16/int8) buffer is what ships and persists.  Artifact-built
+plans are snapshots — in-place parameter updates do *not* flow through
+them; the invalidation contract above covers this case too.
 """
 
 from __future__ import annotations
@@ -58,13 +67,16 @@ class UnsupportedLayerError(TypeError):
 
 
 class ScratchCache:
-    """Per-op scratch buffers keyed on input shape.
+    """Per-op scratch buffers keyed on input shape *and* dtype.
 
     Each op owns its cache exclusively, so a buffer handed out here can
     never alias the op's input (which is always some *other* op's
     output).  LRU-bounded so varying batch sizes cannot grow memory
     without bound.  ``shape_fn`` computes the buffer shape only on a
     cache miss — steady-state inference skips the geometry arithmetic.
+    The dtype is part of the cache key: a plan recompiled at a
+    different precision must never be handed a stale-dtype buffer for
+    the same shape.
     """
 
     def __init__(self, capacity: int = 4) -> None:
@@ -72,14 +84,16 @@ class ScratchCache:
         self._capacity = capacity
 
     def take(self, key: Tuple[int, ...], shape_fn, dtype) -> np.ndarray:
-        buffer = self._buffers.get(key)
+        dtype = np.dtype(dtype)
+        cache_key = (key, dtype.str)
+        buffer = self._buffers.get(cache_key)
         if buffer is None:
             buffer = np.empty(shape_fn(key), dtype=dtype)
-            self._buffers[key] = buffer
+            self._buffers[cache_key] = buffer
             if len(self._buffers) > self._capacity:
                 self._buffers.popitem(last=False)
         else:
-            self._buffers.move_to_end(key)
+            self._buffers.move_to_end(cache_key)
         return buffer
 
 
@@ -112,33 +126,39 @@ class ConvOp(InferenceOp):
 
     scratch_out = True
 
-    def __init__(self, conv: Conv2d, relu: bool) -> None:
-        self.weight = conv.weight
-        self.bias = conv.bias
+    def __init__(self, conv: Conv2d, relu: bool, resolve=None) -> None:
+        # ``resolve`` maps a Parameter to the array the plan should
+        # compute with: live ``Parameter.data`` by default (in-place
+        # updates flow through; reassignment requires recompile —
+        # AdClassifier invalidates plans on train()/load()), or a
+        # dequantized fp32 snapshot when compiling from a
+        # WeightArtifact.
+        self.weight = conv.weight.data if resolve is None else resolve(
+            conv.weight
+        )
+        self.bias = conv.bias.data if resolve is None else resolve(
+            conv.bias
+        )
         self.stride = conv.stride
         self.padding = conv.padding
         self.relu = relu
         self.pointwise = conv.kernel_size == 1
         self._scratch = ScratchCache()
-        # view of the GEMM-shaped weights, captured at compile time;
-        # in-place updates flow through, reassignment requires recompile
-        # (AdClassifier invalidates plans on train()/load()).
-        self._flat_weight = conv.weight.data.reshape(
-            conv.out_channels, -1
-        )
+        # view of the GEMM-shaped weights, captured at compile time
+        self._flat_weight = self.weight.reshape(conv.out_channels, -1)
 
     def _scratch_shape(self, input_shape: Tuple[int, ...]):
         return F.conv2d_scratch_shape(
-            input_shape, self.weight.data.shape, self.stride, self.padding
+            input_shape, self.weight.shape, self.stride, self.padding
         )
 
     def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
-        weight = self.weight.data
+        weight = self.weight
         scratch = self._scratch.take(
             x.shape, self._scratch_shape, weight.dtype
         )
         return F.conv2d_infer(
-            x, weight, self.bias.data, self.stride, self.padding,
+            x, weight, self.bias, self.stride, self.padding,
             relu=self.relu, out=scratch, flat_weight=self._flat_weight,
         )
 
@@ -155,10 +175,10 @@ class FireOp(InferenceOp):
     expand half in place before the copy into the concat output.
     """
 
-    def __init__(self, fire: FireModule) -> None:
-        self.squeeze = ConvOp(fire.squeeze, relu=True)
-        self.expand1x1 = ConvOp(fire.expand1x1, relu=True)
-        self.expand3x3 = ConvOp(fire.expand3x3, relu=True)
+    def __init__(self, fire: FireModule, resolve=None) -> None:
+        self.squeeze = ConvOp(fire.squeeze, relu=True, resolve=resolve)
+        self.expand1x1 = ConvOp(fire.expand1x1, relu=True, resolve=resolve)
+        self.expand3x3 = ConvOp(fire.expand3x3, relu=True, resolve=resolve)
 
     def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
         squeezed = self.squeeze.run(x, mutable)
@@ -232,14 +252,18 @@ class FlattenOp(InferenceOp):
 
 
 class LinearOp(InferenceOp):
-    def __init__(self, linear: Linear, relu: bool) -> None:
-        self.weight = linear.weight
-        self.bias = linear.bias
+    def __init__(self, linear: Linear, relu: bool, resolve=None) -> None:
+        self.weight = linear.weight.data if resolve is None else resolve(
+            linear.weight
+        )
+        self.bias = linear.bias.data if resolve is None else resolve(
+            linear.bias
+        )
         self.relu = relu
 
     def run(self, x: np.ndarray, mutable: bool) -> np.ndarray:
-        out = x @ self.weight.data.T
-        out += self.bias.data
+        out = x @ self.weight.T
+        out += self.bias
         if self.relu:
             F.relu_inplace(out)
         return out
@@ -299,12 +323,20 @@ def _flatten_layers(network: Sequential) -> Iterable[Layer]:
             yield layer
 
 
-def compile_inference(network: Sequential) -> InferencePlan:
+def compile_inference(
+    network: Sequential, artifact=None
+) -> InferencePlan:
     """Lower a Sequential into a flat list of fused inference kernels.
+
+    With ``artifact`` (a :class:`~repro.nn.artifact.WeightArtifact`),
+    each parameterized op computes over the artifact's dequantized fp32
+    reconstruction instead of the live parameter views — the
+    dequantize-or-cast happens here, once, never in the hot loop.
 
     Raises :class:`UnsupportedLayerError` for layer types without an
     inference lowering; callers fall back to the layer-by-layer path.
     """
+    resolve = None if artifact is None else artifact.bind(network)
     layers = list(_flatten_layers(network))
     ops: List[InferenceOp] = []
     index = 0
@@ -315,14 +347,14 @@ def compile_inference(network: Sequential) -> InferencePlan:
             index += 1  # no-ops in eval mode: elided
         elif isinstance(layer, Conv2d):
             fused = isinstance(nxt, ReLU)
-            ops.append(ConvOp(layer, relu=fused))
+            ops.append(ConvOp(layer, relu=fused, resolve=resolve))
             index += 2 if fused else 1
         elif isinstance(layer, Linear):
             fused = isinstance(nxt, ReLU)
-            ops.append(LinearOp(layer, relu=fused))
+            ops.append(LinearOp(layer, relu=fused, resolve=resolve))
             index += 2 if fused else 1
         elif isinstance(layer, FireModule):
-            ops.append(FireOp(layer))
+            ops.append(FireOp(layer, resolve=resolve))
             index += 1
         elif isinstance(layer, ReLU):
             ops.append(ReluOp())

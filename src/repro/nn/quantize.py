@@ -1,0 +1,124 @@
+"""Weight quantization kernels.
+
+The storage-side half of the precision pipeline (see
+``repro.nn.artifact`` for the packaging layer): fp32 tensors are
+lowered to a smaller *storage* dtype once, shipped/persisted in that
+form, and dequantized back to fp32 exactly once before any GEMM — the
+compute path never runs reduced-precision math.
+
+Supported precisions:
+
+* ``fp32`` — passthrough (the identity storage).
+* ``fp16`` — a plain ``astype`` cast; relative error is bounded by the
+  half-precision epsilon (~5e-4), no side-band data needed.
+* ``int8`` — symmetric per-channel affine quantization for tensors
+  with an output-channel axis (``ndim >= 2``): each output channel
+  ``c`` stores ``round(w / scale_c)`` clipped to ``[-127, 127]`` with
+  ``scale_c = max|w_c| / 127``.  One fp32 scale per output channel
+  travels alongside the int8 payload.  1-D tensors (biases) stay fp32
+  — they are a rounding error of the model size and quantizing them
+  buys nothing but accuracy risk.
+
+The reconstruction error of the int8 path is bounded per channel by
+``scale_c / 2`` (round-to-nearest never moves a value further than half
+a quantization step, and clipping never triggers because the scale is
+chosen from the channel maximum).  ``tests/properties`` asserts this
+bound property-style.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: canonical precision names, in decreasing storage width
+FP32 = "fp32"
+FP16 = "fp16"
+INT8 = "int8"
+PRECISIONS: Tuple[str, ...] = (FP32, FP16, INT8)
+
+#: symmetric int8 uses the full signed range minus the asymmetric -128
+INT8_LEVELS = 127
+
+
+def validate_precision(precision: str) -> str:
+    """Return ``precision`` normalized, raising on unknown names."""
+    value = str(precision).strip().lower()
+    if value not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        )
+    return value
+
+
+def int8_scales(array: np.ndarray) -> np.ndarray:
+    """Per-output-channel scales for symmetric int8 quantization.
+
+    Channel axis is axis 0 (the ``out_channels`` axis of both conv and
+    linear weights).  All-zero channels get scale 1.0 so dequantization
+    stays exact without a divide-by-zero.
+    """
+    if array.ndim < 2:
+        raise ValueError("int8 scales need an output-channel axis")
+    max_abs = np.abs(array.reshape(array.shape[0], -1)).max(axis=1)
+    scales = (max_abs / INT8_LEVELS).astype(np.float32)
+    scales[scales == 0.0] = 1.0
+    return scales
+
+
+def _broadcast(scales: np.ndarray, ndim: int) -> np.ndarray:
+    return np.asarray(scales, dtype=np.float32).reshape(
+        (-1,) + (1,) * (ndim - 1)
+    )
+
+
+def quantize_int8(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize an fp32 tensor to ``(int8 payload, fp32 scales)``."""
+    array = np.asarray(array, dtype=np.float32)
+    scales = int8_scales(array)
+    quantized = np.clip(
+        np.rint(array / _broadcast(scales, array.ndim)),
+        -INT8_LEVELS,
+        INT8_LEVELS,
+    ).astype(np.int8)
+    return quantized, scales
+
+
+def dequantize_int8(stored: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct fp32 values from an int8 payload and its scales."""
+    return stored.astype(np.float32) * _broadcast(scales, stored.ndim)
+
+
+def quantize_array(
+    array: np.ndarray, precision: str
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Lower one fp32 tensor to its storage form for ``precision``.
+
+    Returns ``(stored, scales)`` where ``scales`` is ``None`` for every
+    precision except int8 tensors with an output-channel axis.  Under
+    ``int8``, 1-D tensors (biases) pass through as fp32.
+    """
+    precision = validate_precision(precision)
+    array = np.ascontiguousarray(array, dtype=np.float32)
+    if precision == FP16:
+        return array.astype(np.float16), None
+    if precision == INT8 and array.ndim >= 2:
+        return quantize_int8(array)
+    return array, None
+
+
+def dequantize_array(
+    stored: np.ndarray, scales: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Reconstruct fp32 values from any storage form.
+
+    The storage dtype plus the presence of scales fully determines the
+    reconstruction, so callers never need to thread the precision name
+    through — manifests and archives stay self-describing.
+    """
+    if scales is not None:
+        return dequantize_int8(stored, scales)
+    if stored.dtype == np.float32:
+        return stored
+    return stored.astype(np.float32)

@@ -4,36 +4,63 @@ Models are saved as compressed ``.npz`` archives keyed by parameter name
 order.  The on-disk size of the uncompressed float32 payload is what the
 paper reports as "model size" (1.9 MB for the PERCIVAL fork), so the zoo
 also exposes raw-byte accounting; this module just moves weights.
+
+Persistence goes through the same precision pipeline as the
+shared-memory worker handoff (``repro.nn.artifact``): ``save_weights``
+can lower the payload to ``fp16`` or ``int8`` storage (per-channel
+scales saved alongside as ``s####`` arrays), and ``load_weights``
+dequantizes transparently — an archive is self-describing through its
+storage dtypes and scale arrays, so fp32 archives from before the
+precision pipeline load unchanged.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.nn.artifact import WeightArtifact
 from repro.nn.network import Sequential
+from repro.nn.quantize import FP32, dequantize_array, validate_precision
 
 
-def save_weights(network: Sequential, path: str) -> int:
+def save_weights(
+    network: Sequential, path: str, precision: str = FP32
+) -> int:
     """Serialize all parameters of ``network`` to ``path`` (npz).
 
     Returns the number of parameters written.  Parameter order is the
     network's own ``parameters()`` order, which is deterministic for a
     given architecture, so ``load_weights`` can restore positionally.
+    ``precision`` selects the storage form: ``"fp32"`` (default,
+    byte-identical to the pre-precision archive format), ``"fp16"``,
+    or ``"int8"`` (per-channel scales stored as ``s####`` siblings).
     """
-    params = network.parameters()
-    arrays = {f"p{i:04d}": p.data for i, p in enumerate(params)}
-    names = np.array([p.name for p in params])
+    precision = validate_precision(precision)
+    artifact = WeightArtifact.from_network(network, precision)
+    arrays = {}
+    for index, entry in enumerate(artifact.entries):
+        arrays[f"p{index:04d}"] = artifact.stored(index)
+        if entry.scales is not None:
+            arrays[f"s{index:04d}"] = np.asarray(
+                entry.scales, dtype=np.float32
+            )
+    names = np.array([entry.name for entry in artifact.entries])
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, __names__=names, **arrays)
-    return len(params)
+    return len(artifact.entries)
 
 
 def load_weights(network: Sequential, path: str, strict: bool = True) -> int:
     """Load weights saved by :func:`save_weights` into ``network``.
+
+    Storage dtypes are dequantized back to fp32 on the way in (fp16 by
+    cast, int8 through the stored per-channel scales); the network's
+    parameters always end up fp32 regardless of how the archive was
+    written.
 
     With ``strict=True`` (default) every parameter must match in count and
     shape.  With ``strict=False``, shape-compatible prefix parameters are
@@ -44,6 +71,10 @@ def load_weights(network: Sequential, path: str, strict: bool = True) -> int:
     with np.load(path, allow_pickle=False) as archive:
         keys = sorted(k for k in archive.files if k.startswith("p"))
         stored: List[np.ndarray] = [archive[k] for k in keys]
+        scales: List[Optional[np.ndarray]] = [
+            archive[f"s{k[1:]}"] if f"s{k[1:]}" in archive.files else None
+            for k in keys
+        ]
 
     params = network.parameters()
     if strict and len(stored) != len(params):
@@ -53,7 +84,7 @@ def load_weights(network: Sequential, path: str, strict: bool = True) -> int:
         )
 
     loaded = 0
-    for param, array in zip(params, stored):
+    for param, array, scale in zip(params, stored, scales):
         if param.data.shape != array.shape:
             if strict:
                 raise ValueError(
@@ -61,6 +92,6 @@ def load_weights(network: Sequential, path: str, strict: bool = True) -> int:
                     f"{param.data.shape} vs {array.shape}"
                 )
             continue
-        param.data[...] = array
+        param.data[...] = dequantize_array(array, scale)
         loaded += 1
     return loaded

@@ -24,7 +24,10 @@ class TestClassifierFastPath:
         fast = reference_classifier.predict_proba_tensor(
             batch, fast_path=True
         )
-        assert np.abs(reference - fast).max() < 1e-5
+        # tolerance widens with the storage precision in effect
+        # (PERCIVAL_PRECISION matrix entries run this same suite)
+        tolerance = reference_classifier.fast_path_tolerance
+        assert np.abs(reference - fast).max() < tolerance
 
     def test_probabilities_stay_float32(self, reference_classifier, rng):
         size = reference_classifier.config.input_size

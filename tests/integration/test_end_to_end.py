@@ -85,13 +85,23 @@ class TestInBrowserBlocking:
 class TestCrawlTrainLoop:
     def test_phases_improve_model(self):
         """The §4.4.2 flywheel: accuracy should not degrade across
-        phases, and the corpus should grow."""
+        phases, and the corpus should grow.
+
+        Precision is pinned to fp32: the assertion is about training
+        dynamics, and at this reduced scale (16 px, 120 images) the
+        feedback loop is chaotically sensitive to the blocker verdicts
+        that drive frame capture — a quantized-verdict perturbation
+        reshuffles the phase-2 corpus rather than revealing anything
+        about the flywheel.  The quantized inference path itself is
+        covered by tests/core/test_precision.py and the benchmarks.
+        """
         result = run_crawl_phases(
             num_phases=2, sites_per_phase=4, pages_per_site=2,
             epochs_per_phase=8, seed=5,
             config=PercivalConfig(
                 input_size=16, epochs=8,
                 num_train_ads=60, num_train_nonads=60,
+                precision="fp32",
             ),
         )
         assert len(result.phases) == 2

@@ -1,0 +1,193 @@
+"""Weight artifacts: quantization math, packing, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.models.percivalnet import PercivalNet
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    Sequential,
+    WeightArtifact,
+    load_weights,
+    save_weights,
+)
+from repro.nn.quantize import (
+    dequantize_array,
+    dequantize_int8,
+    int8_scales,
+    quantize_array,
+    quantize_int8,
+    validate_precision,
+)
+
+
+class TestQuantizeKernels:
+    def test_validate_precision(self):
+        assert validate_precision(" INT8 ") == "int8"
+        with pytest.raises(ValueError):
+            validate_precision("bf16")
+
+    def test_int8_roundtrip_error_within_half_scale(self, rng):
+        weights = rng.standard_normal((8, 5, 3, 3)).astype(np.float32)
+        quantized, scales = quantize_int8(weights)
+        assert quantized.dtype == np.int8
+        restored = dequantize_int8(quantized, scales)
+        per_channel_error = np.abs(restored - weights).reshape(8, -1).max(axis=1)
+        assert np.all(per_channel_error <= scales / 2 + 1e-7)
+
+    def test_int8_zero_channel_is_exact(self):
+        weights = np.zeros((2, 4), dtype=np.float32)
+        weights[1] = np.linspace(-1, 1, 4)
+        quantized, scales = quantize_int8(weights)
+        assert scales[0] == 1.0  # all-zero channel: neutral scale
+        assert np.array_equal(
+            dequantize_int8(quantized, scales)[0], np.zeros(4)
+        )
+
+    def test_int8_hits_full_range(self, rng):
+        weights = rng.standard_normal((3, 64)).astype(np.float32)
+        quantized, _ = quantize_int8(weights)
+        assert quantized.max() == 127 or quantized.min() == -127
+
+    def test_fp16_is_a_cast(self, rng):
+        weights = rng.standard_normal((4, 4)).astype(np.float32)
+        stored, scales = quantize_array(weights, "fp16")
+        assert stored.dtype == np.float16
+        assert scales is None
+        assert np.array_equal(
+            dequantize_array(stored), stored.astype(np.float32)
+        )
+
+    def test_int8_biases_stay_fp32(self, rng):
+        bias = rng.standard_normal(7).astype(np.float32)
+        stored, scales = quantize_array(bias, "int8")
+        assert stored.dtype == np.float32
+        assert scales is None
+
+    def test_scales_require_channel_axis(self):
+        with pytest.raises(ValueError):
+            int8_scales(np.ones(3, dtype=np.float32))
+
+
+class TestWeightArtifact:
+    @pytest.fixture()
+    def network(self):
+        network = PercivalNet.small()
+        network.eval()
+        return network
+
+    def test_fp32_passthrough_is_exact(self, network):
+        artifact = WeightArtifact.from_network(network, "fp32")
+        for index, param in enumerate(network.parameters()):
+            assert np.array_equal(artifact.dequantized(index), param.data)
+
+    @pytest.mark.parametrize("precision,ratio", [("fp16", 2.0), ("int8", 3.0)])
+    def test_packed_buffer_shrinks(self, network, precision, ratio):
+        fp32 = WeightArtifact.from_network(network, "fp32")
+        small = WeightArtifact.from_network(network, precision)
+        assert fp32.nbytes >= ratio * small.nbytes
+
+    def test_manifest_rows_carry_storage_dtypes(self, network):
+        artifact = WeightArtifact.from_network(network, "int8")
+        rows = artifact.manifest_rows()
+        weight_rows = [r for r in rows if r[0].endswith(".weight")]
+        bias_rows = [r for r in rows if r[0].endswith(".bias")]
+        assert weight_rows and bias_rows
+        for name, shape, dtype, offset, scales in weight_rows:
+            assert np.dtype(dtype) == np.int8
+            assert scales is not None and len(scales) == shape[0]
+        for name, shape, dtype, offset, scales in bias_rows:
+            assert np.dtype(dtype) == np.float32
+            assert scales is None
+
+    @pytest.mark.parametrize("precision", ["fp32", "fp16", "int8"])
+    def test_manifest_roundtrip_is_bit_exact(self, network, precision):
+        artifact = WeightArtifact.from_network(network, precision)
+        rebuilt = WeightArtifact.from_manifest(
+            artifact.manifest_rows(), artifact.buffer.tobytes(),
+            precision=precision, total_bytes=artifact.nbytes,
+        )
+        assert rebuilt.precision == precision
+        for index in range(len(artifact.entries)):
+            assert np.array_equal(
+                artifact.dequantized(index), rebuilt.dequantized(index)
+            )
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_load_into_dequantizes_to_fp32(self, network, precision):
+        artifact = WeightArtifact.from_network(network, precision)
+        target = PercivalNet.small(seed=3)
+        artifact.load_into(target)
+        for index, param in enumerate(target.parameters()):
+            assert param.data.dtype == np.float32
+            assert np.array_equal(param.data, artifact.dequantized(index))
+
+    def test_load_into_rejects_wrong_architecture(self, network):
+        artifact = WeightArtifact.from_network(network, "fp32")
+        other = Sequential([Conv2d(2, 3, kernel_size=1, name="c"),
+                            GlobalAvgPool2d()])
+        with pytest.raises(ValueError):
+            artifact.load_into(other)
+
+    def test_overrunning_manifest_rejected(self, network):
+        artifact = WeightArtifact.from_network(network, "fp32")
+        rows = list(artifact.manifest_rows())
+        name, shape, dtype, offset, scales = rows[-1]
+        rows[-1] = (name, shape, dtype, artifact.nbytes, scales)
+        with pytest.raises(ValueError):
+            WeightArtifact.from_manifest(
+                rows, artifact.buffer.tobytes(),
+                precision="fp32", total_bytes=artifact.nbytes,
+            )
+
+
+class TestPrecisionSerialization:
+    @pytest.fixture()
+    def network(self):
+        return PercivalNet.small(seed=11)
+
+    def test_fp32_archive_format_unchanged(self, network, tmp_path):
+        # fp32 archives keep the pre-precision layout: p#### arrays
+        # only, fp32 payloads, no scale siblings
+        path = str(tmp_path / "w.npz")
+        save_weights(network, path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload_keys = [k for k in archive.files if k.startswith("p")]
+            assert not any(k.startswith("s") for k in archive.files)
+            for key in payload_keys:
+                assert archive[key].dtype == np.float32
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_quantized_roundtrip(self, network, precision, tmp_path):
+        path = str(tmp_path / "w.npz")
+        save_weights(network, path, precision=precision)
+        target = PercivalNet.small(seed=99)
+        loaded = load_weights(target, path)
+        assert loaded == len(network.parameters())
+        artifact = WeightArtifact.from_network(network, precision)
+        for index, param in enumerate(target.parameters()):
+            assert param.data.dtype == np.float32
+            assert np.array_equal(param.data, artifact.dequantized(index))
+
+    def test_quantized_archive_is_smaller(self, network, tmp_path):
+        fp32_path = str(tmp_path / "fp32.npz")
+        int8_path = str(tmp_path / "int8.npz")
+        save_weights(network, fp32_path)
+        save_weights(network, int8_path, precision="int8")
+        import os
+
+        assert os.path.getsize(int8_path) < os.path.getsize(fp32_path)
+
+    def test_int8_roundtrip_close_to_original(self, tmp_path):
+        network = PercivalNet.small(seed=5)
+        path = str(tmp_path / "w.npz")
+        save_weights(network, path, precision="int8")
+        target = PercivalNet.small(seed=77)
+        load_weights(target, path)
+        for original, restored in zip(
+            network.parameters(), target.parameters()
+        ):
+            scale = max(float(np.abs(original.data).max()), 1e-6)
+            error = float(np.abs(original.data - restored.data).max())
+            assert error <= scale / 127.0 + 1e-7

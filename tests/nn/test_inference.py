@@ -23,9 +23,11 @@ from repro.nn import (
     ReLU,
     Sequential,
     UnsupportedLayerError,
+    WeightArtifact,
     compile_inference,
 )
 from repro.nn import functional as F
+from repro.nn.inference import ScratchCache
 from repro.utils.rng import spawn_rng
 
 #: kernel, stride, pad, (H, W) — odd sizes included on purpose.
@@ -218,6 +220,78 @@ class TestPlanCompiler:
         after = plan.run(x)
         assert not np.array_equal(before, after)
         assert np.abs(network.forward(x) - after).max() < 1e-5
+
+
+class TestScratchCache:
+    """Regression: buffers must be keyed on dtype as well as shape —
+    a plan recompiled at another precision must never be handed a
+    stale-dtype scratch buffer."""
+
+    def test_dtype_is_part_of_the_key(self):
+        cache = ScratchCache()
+        shape_fn = lambda key: key  # noqa: E731
+        f32 = cache.take((2, 3), shape_fn, np.float32)
+        f64 = cache.take((2, 3), shape_fn, np.float64)
+        assert f32.dtype == np.float32
+        assert f64.dtype == np.float64
+        assert f32 is not f64
+        # same shape+dtype still reuses the buffer
+        assert cache.take((2, 3), shape_fn, np.float32) is f32
+
+    def test_lru_capacity_counts_dtype_variants(self):
+        cache = ScratchCache(capacity=2)
+        shape_fn = lambda key: key  # noqa: E731
+        first = cache.take((4,), shape_fn, np.float32)
+        cache.take((4,), shape_fn, np.float64)
+        cache.take((5,), shape_fn, np.float32)  # evicts the oldest
+        assert cache.take((4,), shape_fn, np.float32) is not first
+
+
+class TestArtifactCompilation:
+    """compile_inference(network, artifact=...) computes over the
+    artifact's dequantized weights instead of the live parameters."""
+
+    def test_fp32_artifact_matches_live_plan(self, rng):
+        network = PercivalNet.small()
+        network.eval()
+        artifact = WeightArtifact.from_network(network, "fp32")
+        live = compile_inference(network)
+        packed = compile_inference(network, artifact=artifact)
+        x = rng.standard_normal((2, 4, 32, 32)).astype(np.float32)
+        assert np.array_equal(live.run(x), packed.run(x))
+
+    def test_quantized_plan_close_to_reference(self, rng):
+        network = PercivalNet.small()
+        network.eval()
+        x = rng.standard_normal((2, 4, 32, 32)).astype(np.float32)
+        reference = compile_inference(network).run(x)
+        for precision, tolerance in (("fp16", 1e-2), ("int8", 0.5)):
+            artifact = WeightArtifact.from_network(network, precision)
+            quantized = compile_inference(network, artifact=artifact)
+            assert quantized.run(x).dtype == np.float32
+            assert np.abs(quantized.run(x) - reference).max() < tolerance
+
+    def test_artifact_plan_is_a_snapshot(self, rng):
+        # in-place parameter updates must NOT flow into an
+        # artifact-compiled plan (it dequantized at compile time)
+        network = Sequential([Conv2d(2, 3, kernel_size=1, name="c"),
+                              GlobalAvgPool2d()])
+        network.eval()
+        artifact = WeightArtifact.from_network(network, "fp32")
+        plan = compile_inference(network, artifact=artifact)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        before = plan.run(x).copy()
+        network.layers[0].weight.data += 1.0
+        assert np.array_equal(before, plan.run(x))
+
+    def test_mismatched_artifact_rejected(self):
+        network = Sequential([Conv2d(2, 3, kernel_size=1, name="c"),
+                              GlobalAvgPool2d()])
+        other = Sequential([Conv2d(2, 5, kernel_size=1, name="c"),
+                            GlobalAvgPool2d()])
+        artifact = WeightArtifact.from_network(other, "fp32")
+        with pytest.raises(ValueError):
+            compile_inference(network, artifact=artifact)
 
 
 class TestModePropagation:

@@ -87,3 +87,41 @@ def test_global_avgpool_invariant_to_spatial_shuffle(seed):
     shuffled = flat[:, :, permutation].reshape(1, 3, 4, 4)
     gap = GlobalAvgPool2d()
     assert np.allclose(gap.forward(x), gap.forward(shuffled))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    out_channels=st.integers(1, 6),
+    fan_in=st.integers(1, 24),
+    scale_exp=st.integers(-6, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_int8_quantize_error_within_per_channel_scale_bound(
+    out_channels, fan_in, scale_exp, seed
+):
+    """quantize -> dequantize reconstruction error never exceeds half a
+    quantization step per output channel (the artifact layer's int8
+    accuracy contract), across magnitudes from 1e-6 to 1e6."""
+    from repro.nn.quantize import dequantize_int8, quantize_int8
+
+    rng = np.random.default_rng(seed)
+    weights = (
+        rng.standard_normal((out_channels, fan_in)) * 10.0 ** scale_exp
+    ).astype(np.float32)
+    quantized, scales = quantize_int8(weights)
+    restored = dequantize_int8(quantized, scales)
+    per_channel_error = np.abs(restored - weights).max(axis=1)
+    assert np.all(per_channel_error <= scales / 2 * (1 + 1e-5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_quantize_fp32_is_identity(seed):
+    """fp32 "quantization" is a bit-exact passthrough."""
+    from repro.nn.quantize import quantize_array
+
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((3, 5)).astype(np.float32)
+    stored, scales = quantize_array(weights, "fp32")
+    assert scales is None
+    assert np.array_equal(stored, weights)
