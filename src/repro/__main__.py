@@ -5,6 +5,7 @@ Commands:
 ``train``      train (or load) the reference model and print its stats
 ``classify``   classify sample creatives/content with the model
 ``render``     render synthetic pages with PERCIVAL in the loop
+``serve-sim``  replay multi-session traffic through the serving layer
 ``crawl``      run the crawl/retrain flywheel
 ``experiments``  run every experiment driver and print its table
 """
@@ -83,6 +84,57 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    """Deterministic serving simulation: multi-session traffic through
+    the micro-batching layer, with the latency/backpressure report."""
+    from repro.core import (
+        PercivalBlocker,
+        ServeSettings,
+        get_reference_classifier,
+        get_worker_pool,
+        shutdown_worker_pool,
+    )
+    from repro.serve import ServeLoop, TrafficSpec, synthesize_traffic
+
+    classifier = get_reference_classifier(_resolved_config(args))
+    pool = get_worker_pool(classifier, num_workers=args.workers)
+    settings = ServeSettings(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_depth=args.max_depth,
+    )
+    blocker = PercivalBlocker(
+        classifier,
+        calibrated_latency_ms=11.0,
+        pool=pool,
+        # flushes are capped at max_batch, so the shard threshold must
+        # fit under it or an attached pool would never see a batch
+        shard_min_batch=min(
+            classifier.config.shard_min_batch, settings.max_batch
+        ),
+    )
+    events = synthesize_traffic(TrafficSpec(
+        sessions=args.sessions,
+        frames_per_session=args.frames,
+        seed=args.seed,
+    ))
+    try:
+        report = ServeLoop(blocker, settings).run(events)
+    finally:
+        shutdown_worker_pool()
+    print(report.stats.to_table(
+        f"serve-sim: {args.sessions} sessions x {args.frames} frames "
+        f"(max_batch={settings.max_batch}, "
+        f"max_wait={settings.max_wait_ms}ms, "
+        f"max_depth={settings.max_depth})"
+    ))
+    print(f"virtual makespan: {report.makespan_ms:.1f} ms")
+    if not report.stats.conserved():
+        print("CONSERVATION VIOLATED: requests lost or duplicated")
+        return 1
+    return 0
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
     from repro.core.config import PercivalConfig
     from repro.crawl.phases import run_crawl_phases
@@ -142,6 +194,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def main(argv: list | None = None) -> int:
+    from repro.core.config import configured_serve_settings
+
+    # flag defaults resolve through the environment, so an unset flag
+    # honors PERCIVAL_SERVE_* exactly as the help text promises
+    serve_defaults = configured_serve_settings()
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -169,6 +227,35 @@ def main(argv: list | None = None) -> int:
                         default="sync")
     render.add_argument("--precision", **precision_kwargs)
 
+    serve_sim = sub.add_parser(
+        "serve-sim",
+        help="replay multi-session traffic through the serving layer",
+    )
+    serve_sim.add_argument("--sessions", type=int, default=8)
+    serve_sim.add_argument("--frames", type=int, default=12,
+                           help="frames per session")
+    serve_sim.add_argument("--seed", type=int, default=0)
+    serve_sim.add_argument(
+        "--max-batch", type=int,
+        default=serve_defaults.max_batch,
+        help="flush threshold (PERCIVAL_SERVE_MAX_BATCH)",
+    )
+    serve_sim.add_argument(
+        "--max-wait-ms", type=float,
+        default=serve_defaults.max_wait_ms,
+        help="oldest-request deadline (PERCIVAL_SERVE_MAX_WAIT_MS)",
+    )
+    serve_sim.add_argument(
+        "--max-depth", type=int,
+        default=serve_defaults.max_depth,
+        help="admission bound (PERCIVAL_SERVE_MAX_DEPTH)",
+    )
+    serve_sim.add_argument(
+        "--workers", type=int, default=None,
+        help="worker pool size (same knob as PERCIVAL_WORKERS)",
+    )
+    serve_sim.add_argument("--precision", **precision_kwargs)
+
     crawl = sub.add_parser("crawl", help="run the crawl/retrain loop")
     crawl.add_argument("--phases", type=int, default=3)
     crawl.add_argument("--seed", type=int, default=0)
@@ -180,6 +267,7 @@ def main(argv: list | None = None) -> int:
         "train": _cmd_train,
         "classify": _cmd_classify,
         "render": _cmd_render,
+        "serve-sim": _cmd_serve_sim,
         "crawl": _cmd_crawl,
         "experiments": _cmd_experiments,
     }

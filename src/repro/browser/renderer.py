@@ -78,6 +78,33 @@ class BlockerProtocol(Protocol):
         ...
 
 
+class ServeBridgeProtocol(Protocol):
+    """What async-mode serving needs (``repro.serve.RenderServeBridge``).
+
+    The renderer enqueues memo-missed frames during raster and drains
+    them after — one batched classification per chunk instead of a
+    forward pass per frame, with the verdicts (and their amortized
+    virtual costs) landing on the async lanes.
+    """
+
+    def fingerprint(self, bitmap: np.ndarray) -> str:
+        ...
+
+    def lookup(self, bitmap: np.ndarray, key: Optional[str] = None):
+        ...
+
+    def enqueue(self, bitmap: np.ndarray, key: str) -> None:
+        ...
+
+    def drain(self):
+        ...
+
+
+#: virtual cost of handing one frame to the async classification queue
+#: (the paint-path work is only the enqueue; compute happens off-lane)
+_ASYNC_ENQUEUE_COST_MS = 0.05
+
+
 @dataclass
 class BrowserProfile:
     """Static configuration of a browser build."""
@@ -188,6 +215,7 @@ class Renderer:
         percival: Optional[BlockerProtocol] = None,
         mode: str = "sync",
         revisit_memory: Optional["RevisitMemory"] = None,
+        serve_bridge: Optional["ServeBridgeProtocol"] = None,
     ) -> RenderMetrics:
         """Render one page; returns its metrics.
 
@@ -196,9 +224,20 @@ class Renderer:
         a previous visit are hidden *before layout* — the §6 fix for
         dangling slots: the container collapses and neither fetch nor
         decode nor classification is paid again.
+
+        ``serve_bridge`` (async mode only) routes memo-missed decodes
+        through the micro-batching serving layer
+        (:class:`repro.serve.RenderServeBridge`): frames enqueue during
+        raster and classify in batched chunks at drain time, so many
+        page sessions share one blocker's batches and memo.
         """
         if mode not in ("sync", "async"):
             raise ValueError(f"unknown blocking mode {mode!r}")
+        if serve_bridge is not None and mode != "async":
+            raise ValueError(
+                "serve_bridge routes the asynchronous deployment; "
+                "use mode='async'"
+            )
         profile = self.profile
         metrics = RenderMetrics(
             url=page.url, dom_loading_ms=0.0, dom_complete_ms=0.0
@@ -320,8 +359,24 @@ class Renderer:
             keyed = _supports_keyed_verdicts(percival)
             fingerprint = percival.fingerprint if keyed else None
             decide = percival.decide if keyed else None
+            # per-frame flag set by the hook and read by cost_fn right
+            # after: memo hits enqueue nothing, so the raster lane must
+            # charge nothing for them
+            frame_enqueued = [False]
 
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
+                frame_enqueued[0] = False
+                if serve_bridge is not None:
+                    # micro-batched deployment: consult the shared memo,
+                    # enqueue misses for the post-raster batched drain
+                    key = serve_bridge.fingerprint(bitmap)
+                    cached_decision = serve_bridge.lookup(bitmap, key=key)
+                    if cached_decision is not None:
+                        metrics.memo_hits += 1
+                        return cached_decision.is_ad
+                    serve_bridge.enqueue(bitmap, key)
+                    frame_enqueued[0] = True
+                    return False  # verdict lands at drain time
                 # fingerprint once per frame: the same key serves the
                 # memo lookup and, on a miss, the memo fill.
                 if keyed:
@@ -333,6 +388,7 @@ class Renderer:
                     metrics.memo_hits += 1
                     return cached
                 # classify off the critical path; frame paints meanwhile
+                frame_enqueued[0] = True
                 if keyed:
                     verdict = decide(bitmap, key=key).is_ad
                 else:
@@ -343,7 +399,11 @@ class Renderer:
                 return False  # never blocks the current paint
 
             def cost_fn(url: str) -> float:
-                return 0.05  # enqueue cost only
+                # enqueue cost only — and only for frames that actually
+                # enqueued work (memo hits resolved without classifying)
+                if frame_enqueued[0]:
+                    return _ASYNC_ENQUEUE_COST_MS
+                return 0.0
 
         raster = rasterize(
             display_list,
@@ -357,6 +417,15 @@ class Renderer:
         metrics.classify_cost_ms = raster.classify_cost_ms
         metrics.images_decoded = raster.images_decoded
         metrics.images_blocked_by_percival = raster.images_blocked
+        if serve_bridge is not None and async_lanes is not None:
+            # drain the page's enqueued frames through the batching
+            # layer: verdicts memoize for the next encounter, amortized
+            # compute lands on the async lanes, ads that already
+            # painted count as flashed — the §1.1 async trade-off
+            for decision, cost_ms in serve_bridge.drain():
+                async_lanes.submit(cost_ms)
+                if decision.is_ad:
+                    metrics.flashed_ads += 1
         if async_lanes is not None:
             metrics.async_classify_ms = async_lanes.makespan_ms
         if revisit_memory is not None:

@@ -19,7 +19,9 @@ The paper's primary contribution, as a library:
 
 from repro.core.config import (
     PercivalConfig,
+    ServeSettings,
     configured_precision,
+    configured_serve_settings,
     configured_worker_count,
 )
 from repro.core.preprocessing import preprocess_bitmap, preprocess_batch
@@ -41,7 +43,9 @@ from repro.core.revisit import RevisitMemory
 
 __all__ = [
     "PercivalConfig",
+    "ServeSettings",
     "configured_precision",
+    "configured_serve_settings",
     "configured_worker_count",
     "preprocess_bitmap",
     "preprocess_batch",

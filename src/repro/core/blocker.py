@@ -89,6 +89,10 @@ class PercivalBlocker:
         self._memo_version = classifier.weights_version
         self.classifications = 0
         self.blocks = 0
+        #: times a pool failure degraded a batch to in-process compute;
+        #: the serving fault harness asserts this fires exactly once per
+        #: injected failure
+        self.pool_fallbacks = 0
 
     def _check_memo_generation(self) -> None:
         """Drop memoized verdicts computed by replaced weights.
@@ -121,13 +125,36 @@ class PercivalBlocker:
     def memoized_verdict(
         self, bitmap: np.ndarray, key: Optional[str] = None
     ) -> Optional[bool]:
+        cached = self.memoized_decision(bitmap, key=key)
+        return None if cached is None else cached.is_ad
+
+    def memoized_decision(
+        self, bitmap: Optional[np.ndarray] = None, key: Optional[str] = None
+    ) -> Optional[BlockDecision]:
+        """Full decision record from the memo, or ``None`` on a miss.
+
+        The serving layer's batch-entry hook: a request whose
+        fingerprint hits here resolves *without entering the batch
+        queue* — and because every session of a serve loop shares one
+        blocker, the memo is shared across sessions (a creative
+        classified for one page session answers every other session
+        instantly).  Accepts a precomputed ``key`` so the hot path
+        hashes each frame exactly once.
+        """
         self._check_memo_generation()
-        key = key if key is not None else self.fingerprint(bitmap)
+        if key is None:
+            if bitmap is None:
+                raise ValueError("need a bitmap or a precomputed key")
+            key = self.fingerprint(bitmap)
         cached = self._memo.get(key)
         if cached is None:
             return None
         self._memo.move_to_end(key)
-        return cached.is_ad
+        return BlockDecision(
+            is_ad=cached.is_ad,
+            probability=cached.probability,
+            from_cache=True,
+        )
 
     # ------------------------------------------------------------------
     # Rich API
@@ -143,16 +170,10 @@ class PercivalBlocker:
         self, bitmap: np.ndarray, key: Optional[str] = None
     ) -> BlockDecision:
         """Full decision record for a bitmap, using the memo cache."""
-        self._check_memo_generation()
         key = key if key is not None else self.fingerprint(bitmap)
-        cached = self._memo.get(key)
+        cached = self.memoized_decision(key=key)
         if cached is not None:
-            self._memo.move_to_end(key)
-            return BlockDecision(
-                is_ad=cached.is_ad,
-                probability=cached.probability,
-                from_cache=True,
-            )
+            return cached
         probability = self.classifier.ad_probability(bitmap)
         return self._record(key, probability)
 
@@ -222,7 +243,7 @@ class PercivalBlocker:
                     pool.publish(self.classifier)
                 return pool.predict_proba(batch)
             except WorkerPoolError:
-                pass
+                self.pool_fallbacks += 1
         return self.classifier.predict_proba_tensor(batch)
 
     def _record(self, key: str, probability: float) -> BlockDecision:

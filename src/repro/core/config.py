@@ -91,6 +91,69 @@ def configured_worker_count(explicit: int | None = None) -> int:
     return max(value, 0)
 
 
+@dataclass(frozen=True)
+class ServeSettings:
+    """Micro-batching knobs of the :mod:`repro.serve` layer.
+
+    These are pure deployment knobs — they decide how independent
+    classification requests coalesce into batches, never what any
+    verdict is — so they live outside :class:`PercivalConfig` and the
+    model cache key entirely.
+    """
+
+    #: flush a batch as soon as it reaches this many unique requests
+    max_batch: int = 16
+    #: ... or as soon as the oldest queued request has waited this long
+    max_wait_ms: float = 4.0
+    #: admission limit: requests queued beyond this depth are shed
+    #: (explicit backpressure, never silent loss)
+    max_depth: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_depth < self.max_batch:
+            raise ValueError(
+                "max_depth must be >= max_batch (a full batch must be "
+                "admissible)"
+            )
+
+
+def configured_serve_settings(
+    explicit: ServeSettings | None = None,
+) -> ServeSettings:
+    """Resolve the ``PERCIVAL_SERVE_*`` knobs to :class:`ServeSettings`.
+
+    An ``explicit`` settings object wins outright; otherwise each field
+    falls back to its environment variable (``PERCIVAL_SERVE_MAX_BATCH``,
+    ``PERCIVAL_SERVE_MAX_WAIT_MS``, ``PERCIVAL_SERVE_MAX_DEPTH``) and
+    then to the dataclass default.  Invalid values raise ``ValueError``
+    naming the offending variable.
+    """
+    if explicit is not None:
+        return explicit
+
+    def _env(name: str, cast, default):
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return default
+        try:
+            return cast(raw)
+        except ValueError as exc:
+            raise ValueError(f"invalid {name}: {raw!r}") from exc
+
+    return ServeSettings(
+        max_batch=_env("PERCIVAL_SERVE_MAX_BATCH", int,
+                       ServeSettings.max_batch),
+        max_wait_ms=_env("PERCIVAL_SERVE_MAX_WAIT_MS", float,
+                         ServeSettings.max_wait_ms),
+        max_depth=_env("PERCIVAL_SERVE_MAX_DEPTH", int,
+                       ServeSettings.max_depth),
+    )
+
+
 def configured_precision(explicit: str | None = None) -> str:
     """Resolve the ``PERCIVAL_PRECISION`` knob to a precision name.
 

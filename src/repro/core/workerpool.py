@@ -152,6 +152,7 @@ class InferenceWorkerPool:
         self._export: Optional[PlanExport] = None
         self._task_counter = 0
         self._closed = False
+        self._dispatching = False
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -169,6 +170,27 @@ class InferenceWorkerPool:
     def published_fingerprint(self) -> Optional[str]:
         """Fingerprint of the weights workers currently hold."""
         return self._export.fingerprint if self._export else None
+
+    @property
+    def dispatching(self) -> bool:
+        """True while a scatter/gather call is in flight."""
+        return self._dispatching
+
+    @property
+    def available_capacity(self) -> int:
+        """Workers a new batch would scatter across *right now* without
+        queueing behind anything.
+
+        ``0`` when the pool is closed, has no published weights, or is
+        mid-``predict_proba`` (the parent gathers synchronously, so a
+        concurrent caller would serialize behind the in-flight batch);
+        otherwise the full worker count — dead workers are respawned at
+        call entry, so they still count as capacity.  The serving layer
+        polls this without blocking to size and pace its flushes.
+        """
+        if self._closed or self._export is None or self._dispatching:
+            return 0
+        return self.num_workers
 
     # ------------------------------------------------------------------
     # Weight publication
@@ -230,47 +252,53 @@ class InferenceWorkerPool:
             raise WorkerPoolError("no weights published; call publish()")
         if batch.shape[0] == 0:
             return np.empty(0, dtype=np.float32)
-        self._sync_workers()
-        shards = [
-            shard
-            for shard in np.array_split(batch, self.num_workers)
-            if shard.shape[0]
-        ]
-        in_flight: List[Tuple[_Worker, int]] = []
-        for worker, shard in zip(self._workers, shards):
-            self._task_counter += 1
-            task_id = self._task_counter
-            try:
-                worker.conn.send(("run", task_id, shard))
-            except (BrokenPipeError, OSError) as exc:
-                self._recover_in_flight(in_flight)
-                self._discard_worker(worker)
-                raise WorkerPoolError(f"worker died during scatter: {exc}") from exc
-            in_flight.append((worker, task_id))
-        gathered: List[np.ndarray] = []
-        for position, (worker, task_id) in enumerate(in_flight):
-            pending = in_flight[position + 1:]
-            try:
-                reply = self._recv(worker)
-            except WorkerPoolError:
+        self._dispatching = True
+        try:
+            self._sync_workers()
+            shards = [
+                shard
+                for shard in np.array_split(batch, self.num_workers)
+                if shard.shape[0]
+            ]
+            in_flight: List[Tuple[_Worker, int]] = []
+            for worker, shard in zip(self._workers, shards):
+                self._task_counter += 1
+                task_id = self._task_counter
+                try:
+                    worker.conn.send(("run", task_id, shard))
+                except (BrokenPipeError, OSError) as exc:
+                    self._recover_in_flight(in_flight)
+                    self._discard_worker(worker)
+                    raise WorkerPoolError(
+                        f"worker died during scatter: {exc}"
+                    ) from exc
+                in_flight.append((worker, task_id))
+            gathered: List[np.ndarray] = []
+            for position, (worker, task_id) in enumerate(in_flight):
+                pending = in_flight[position + 1:]
+                try:
+                    reply = self._recv(worker)
+                except WorkerPoolError:
+                    self._discard_worker(worker)
+                    self._recover_in_flight(pending)
+                    raise
+                if reply[0] == "result" and reply[1] == task_id:
+                    gathered.append(np.asarray(reply[2], dtype=np.float32))
+                    continue
+                if reply[0] == "error" and len(reply) == 3 and reply[1] == task_id:
+                    # clean failure: the worker consumed the task and its
+                    # pipe stays in sync — only later workers need draining
+                    self._recover_in_flight(pending)
+                    raise WorkerPoolError(f"worker failed mid-batch: {reply[2]}")
+                # out-of-sync reply: this worker's pipe cannot be trusted
                 self._discard_worker(worker)
                 self._recover_in_flight(pending)
-                raise
-            if reply[0] == "result" and reply[1] == task_id:
-                gathered.append(np.asarray(reply[2], dtype=np.float32))
-                continue
-            if reply[0] == "error" and len(reply) == 3 and reply[1] == task_id:
-                # clean failure: the worker consumed the task and its
-                # pipe stays in sync — only later workers need draining
-                self._recover_in_flight(pending)
-                raise WorkerPoolError(f"worker failed mid-batch: {reply[2]}")
-            # out-of-sync reply: this worker's pipe cannot be trusted
-            self._discard_worker(worker)
-            self._recover_in_flight(pending)
-            raise WorkerPoolError(
-                f"out-of-sync {reply[0]!r} reply from worker; discarded it"
-            )
-        return np.concatenate(gathered)
+                raise WorkerPoolError(
+                    f"out-of-sync {reply[0]!r} reply from worker; discarded it"
+                )
+            return np.concatenate(gathered)
+        finally:
+            self._dispatching = False
 
     # ------------------------------------------------------------------
     # Lifecycle

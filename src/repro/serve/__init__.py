@@ -1,0 +1,56 @@
+"""``repro.serve``: the async micro-batching inference service.
+
+The first layer of the reproduction that models *multi-user* traffic:
+independent classification requests from many page sessions coalesce
+into shard-sized batches in front of one
+:class:`~repro.core.blocker.PercivalBlocker` (and, through it, the
+sharded worker pool).  See ``docs/serving.md`` for the architecture and
+the ``PERCIVAL_SERVE_*`` knobs.
+
+* :class:`BatchQueue` — deadline-based coalescing (flush on
+  ``max_batch`` or ``max_wait_ms``) with bounded-depth admission,
+* :class:`ServeLoop` — deterministic virtual-clock simulator (real
+  compute, virtual time; the fault/property harness drives this),
+* :class:`AsyncServeFront` — the ``asyncio`` front door
+  (``await submit(bitmap)`` → :class:`BlockDecision`),
+* :class:`RenderServeBridge` — routes the renderer's async-mode
+  decodes through the batching layer,
+* :func:`synthesize_traffic` — deterministic multi-session workloads.
+"""
+
+from repro.core.config import ServeSettings, configured_serve_settings
+from repro.serve.loop import (
+    ArrivalEvent,
+    AsyncServeFront,
+    BatchComputeModel,
+    ServeLoop,
+    ServeOverloadError,
+    ServeReport,
+    ServeResult,
+)
+from repro.serve.metrics import LatencySummary, ServeStats
+from repro.serve.queue import BatchQueue, ServeRequest
+from repro.serve.session import (
+    RenderServeBridge,
+    TrafficSpec,
+    synthesize_traffic,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "AsyncServeFront",
+    "BatchComputeModel",
+    "BatchQueue",
+    "LatencySummary",
+    "RenderServeBridge",
+    "ServeLoop",
+    "ServeOverloadError",
+    "ServeReport",
+    "ServeRequest",
+    "ServeResult",
+    "ServeSettings",
+    "ServeStats",
+    "TrafficSpec",
+    "configured_serve_settings",
+    "synthesize_traffic",
+]

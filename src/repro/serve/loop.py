@@ -1,0 +1,523 @@
+"""The serving layer: deterministic simulation loop + asyncio front door.
+
+Two drivers share the same :class:`~repro.serve.queue.BatchQueue`,
+memoization contract, and metrics:
+
+* :class:`ServeLoop` — a **deterministic** discrete-event simulator on a
+  :class:`~repro.utils.clock.VirtualClock` (the same device the
+  renderer's ``WorkerLanes`` use).  Classification is *real* — every
+  flush calls ``PercivalBlocker.decide_many``, which may scatter across
+  the worker pool — but time is virtual, so latency distributions,
+  backpressure behaviour, and failure injections replay bit-identically
+  run after run.  This is what the property/fault harness and the
+  ``serve-sim`` CLI drive.
+* :class:`AsyncServeFront` — the ``asyncio`` front door for real
+  concurrent callers: ``await front.submit(bitmap)`` resolves to a
+  :class:`~repro.core.blocker.BlockDecision` once the request's batch
+  flushes (on ``max_batch`` or the ``max_wait_ms`` timer, whichever
+  first).
+
+Both resolve duplicate work without spending compute on it, in two
+tiers: a fingerprint that hits the blocker's **memo** is answered
+immediately and never enters the queue (cross-session sharing — the
+paper's memoized deployment, lifted above the page), and a fingerprint
+already **queued** coalesces onto the queued request as a rider,
+sharing its verdict without consuming queue depth or a batch slot.
+
+Admission control is explicit: a full queue sheds the request — the
+simulator records it, the asyncio front raises
+:class:`ServeOverloadError` — so overload degrades visibly instead of
+growing an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.blocker import BlockDecision, PercivalBlocker
+from repro.core.config import ServeSettings, configured_serve_settings
+from repro.serve.metrics import ServeStats
+from repro.serve.queue import BatchQueue, ServeRequest
+from repro.utils.clock import VirtualClock
+
+
+class ServeOverloadError(RuntimeError):
+    """The request was shed at admission: queue depth is at its bound.
+
+    Explicit backpressure — callers decide whether to retry, degrade
+    (render without a verdict, as async mode already does), or surface
+    the overload.  The serving layer never queues unboundedly and never
+    drops a request silently.
+    """
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One simulated request: a frame from a page session."""
+
+    at_ms: float
+    session_id: str
+    bitmap: np.ndarray
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one simulated request."""
+
+    request_id: int
+    session_id: str
+    key: str
+    arrival_ms: float
+    decision: Optional[BlockDecision] = None
+    shed: bool = False
+    memo_hit: bool = False
+    #: rode along with an identical queued fingerprint (no batch slot)
+    coalesced: bool = False
+    flush_ms: float = 0.0
+    complete_ms: float = 0.0
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return self.flush_ms - self.arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        return self.complete_ms - self.flush_ms
+
+    @property
+    def latency_ms(self) -> float:
+        return self.complete_ms - self.arrival_ms
+
+
+@dataclass
+class ServeReport:
+    """Everything a simulation run produced, in submission order."""
+
+    results: List[ServeResult]
+    stats: ServeStats
+    makespan_ms: float
+
+    @property
+    def answered(self) -> List[ServeResult]:
+        return [r for r in self.results if not r.shed]
+
+    @property
+    def shed(self) -> List[ServeResult]:
+        return [r for r in self.results if r.shed]
+
+
+class BatchComputeModel:
+    """Virtual cost of one batched forward, ``setup + n * per_image``.
+
+    Defaults derive from the blocker's calibrated per-image latency so
+    a batch of one costs exactly one calibrated classification, and the
+    marginal frame costs ``amortization`` of it — the shape the PR 1
+    fast-path benchmark measured (batched inference amortizes fixed
+    per-call overhead across the batch).
+    """
+
+    #: marginal cost of one more frame, as a fraction of the
+    #: single-image latency (PR 1 measured >= 4x batched throughput)
+    AMORTIZATION = 0.25
+
+    def __init__(self, per_image_ms: float, setup_ms: float) -> None:
+        if per_image_ms < 0 or setup_ms < 0:
+            raise ValueError("compute-model costs must be non-negative")
+        self.per_image_ms = per_image_ms
+        self.setup_ms = setup_ms
+
+    @classmethod
+    def from_blocker(cls, blocker: PercivalBlocker) -> "BatchComputeModel":
+        latency = blocker.calibrated_latency_ms
+        return cls(
+            per_image_ms=latency * cls.AMORTIZATION,
+            setup_ms=latency * (1.0 - cls.AMORTIZATION),
+        )
+
+    def __call__(self, batch_size: int) -> float:
+        if batch_size <= 0:
+            return 0.0
+        return self.setup_ms + batch_size * self.per_image_ms
+
+
+class ServeLoop:
+    """Deterministic micro-batching simulator over a virtual clock.
+
+    ``run`` replays a traffic trace (:class:`ArrivalEvent` list) through
+    the full serving stack: memo lookup, fingerprint coalescing,
+    admission control, deadline/size-based flushing, and one real
+    ``decide_many`` per flushed batch.  Batch compute occupies a single
+    virtual compute lane (``compute_model`` prices it), so a slow batch
+    visibly delays the batches behind it — the p99 tail under load is a
+    property of the trace, not of the host machine.
+    """
+
+    def __init__(
+        self,
+        blocker: PercivalBlocker,
+        settings: Optional[ServeSettings] = None,
+        compute_model: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        self.blocker = blocker
+        self.settings = configured_serve_settings(settings)
+        self.compute_model = (
+            compute_model
+            if compute_model is not None
+            else BatchComputeModel.from_blocker(blocker)
+        )
+
+    def run(self, events: Sequence[ArrivalEvent]) -> ServeReport:
+        """Replay ``events`` through the serving stack.
+
+        Discrete-event structure: the compute lane is retired first,
+        then a due batch is dispatched if the lane is free, then the
+        clock advances to the earliest of {next arrival, lane
+        completion, queue deadline}.  Gating dispatch on the lane is
+        what makes overload *visible*: while a batch computes, arrivals
+        pile into the queue, and past ``max_depth`` they shed — exactly
+        the backpressure a real single-model server exhibits.  (The
+        queue itself still never holds a due request at poll time;
+        that contract is property-tested on :class:`BatchQueue`
+        directly.)
+        """
+        events = sorted(events, key=lambda event: event.at_ms)
+        queue = BatchQueue(self.settings)
+        clock = VirtualClock()
+        stats = ServeStats()
+        results: List[ServeResult] = []
+        pending: Dict[str, ServeRequest] = {}
+        #: which ServeResult belongs to each queued request (leaders
+        #: and riders alike), resolved at flush time
+        open_results: Dict[int, ServeResult] = {}
+        #: virtual time the single compute lane frees up (None = idle)
+        busy_until: Optional[float] = None
+        index = 0
+        next_id = 0
+
+        while True:
+            now = clock.now_ms
+            if busy_until is not None and now >= busy_until:
+                busy_until = None
+            if busy_until is None:
+                batch = queue.pop_batch(now)
+                if batch is not None:
+                    busy_until = self._flush(
+                        batch, now, pending, open_results, stats
+                    )
+                    continue
+            arrival = events[index].at_ms if index < len(events) else None
+            deadline = queue.next_deadline_ms()
+            candidates = [
+                t
+                for t in (
+                    arrival,
+                    busy_until,
+                    # a deadline is only actionable once the lane frees
+                    deadline if busy_until is None else None,
+                )
+                if t is not None
+            ]
+            if not candidates:
+                break
+            next_time = min(candidates)
+            clock.advance_to(next_time)
+            if arrival is not None and next_time >= arrival:
+                event = events[index]
+                index += 1
+                next_id += 1
+                results.append(
+                    self._admit(
+                        event, next_id, clock.now_ms,
+                        queue, pending, open_results, stats,
+                    )
+                )
+
+        return ServeReport(
+            results=results, stats=stats, makespan_ms=clock.now_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        event: ArrivalEvent,
+        request_id: int,
+        now_ms: float,
+        queue: BatchQueue,
+        pending: Dict[str, ServeRequest],
+        open_results: Dict[int, ServeResult],
+        stats: ServeStats,
+    ) -> ServeResult:
+        stats.submitted += 1
+        key = self.blocker.fingerprint(event.bitmap)
+        result = ServeResult(
+            request_id=request_id,
+            session_id=event.session_id,
+            key=key,
+            arrival_ms=now_ms,
+        )
+        cached = self.blocker.memoized_decision(key=key)
+        if cached is not None:
+            # tier 1: shared memo — answered instantly, no queue entry
+            result.decision = cached
+            result.memo_hit = True
+            result.flush_ms = result.complete_ms = now_ms
+            stats.memo_hits += 1
+            stats.answered += 1
+            self._record_latency(stats, result)
+            return result
+        request = ServeRequest(
+            request_id=request_id,
+            session_id=event.session_id,
+            key=key,
+            bitmap=event.bitmap,
+            arrival_ms=now_ms,
+        )
+        leader = pending.get(key)
+        if leader is not None:
+            # tier 2: same fingerprint already queued — ride along
+            leader.coalesced.append(request)
+            result.coalesced = True
+            stats.coalesced += 1
+            open_results[request_id] = result
+            return result
+        if not queue.offer(request, now_ms):
+            result.shed = True
+            result.flush_ms = result.complete_ms = now_ms
+            stats.shed += 1
+            return result
+        pending[key] = request
+        open_results[request_id] = result
+        return result
+
+    def _flush(
+        self,
+        batch: List[ServeRequest],
+        now_ms: float,
+        pending: Dict[str, ServeRequest],
+        open_results: Dict[int, ServeResult],
+        stats: ServeStats,
+    ) -> float:
+        """Dispatch one batch on the (free) compute lane; returns the
+        virtual time the lane frees up again."""
+        bitmaps = [request.bitmap for request in batch]
+        keys = [request.key for request in batch]
+        pool = self.blocker.pool
+        capacity = (
+            pool.available_capacity
+            if pool is not None and hasattr(pool, "available_capacity")
+            else 0
+        )
+        decisions = self.blocker.decide_many(bitmaps, keys=keys)
+        cost_ms = float(self.compute_model(len(batch)))
+        complete_ms = now_ms + cost_ms
+        for request, decision in zip(batch, decisions):
+            pending.pop(request.key, None)
+            for settled in (request, *request.coalesced):
+                result = open_results.pop(settled.request_id)
+                result.decision = decision
+                result.flush_ms = now_ms
+                result.complete_ms = complete_ms
+                stats.answered += 1
+                self._record_latency(stats, result)
+        stats.batches += 1
+        stats.batched_requests += len(batch)
+        stats.capacity_samples.append(capacity)
+        return complete_ms
+
+    @staticmethod
+    def _record_latency(stats: ServeStats, result: ServeResult) -> None:
+        stats.queue_wait_ms.add(result.queue_wait_ms)
+        stats.service_ms.add(result.service_ms)
+        stats.total_ms.add(result.latency_ms)
+
+
+class AsyncServeFront:
+    """``asyncio`` front door over the same micro-batching queue.
+
+    ``submit`` returns an awaitable that resolves to the request's
+    :class:`BlockDecision`.  A full batch schedules a flush callback on
+    the event loop (deferred, so a burst of submits already on the
+    ready queue gets to enqueue — or shed — before compute runs); a
+    partial batch flushes when its oldest request hits ``max_wait_ms``
+    via a ``call_later`` timer.  Batch compute runs on the event-loop
+    thread (numpy/BLAS release the GIL, and a dedicated executor would
+    only reorder the same GEMMs).  A full queue raises
+    :class:`ServeOverloadError` — backpressure is the caller's signal.
+    """
+
+    def __init__(
+        self,
+        blocker: PercivalBlocker,
+        settings: Optional[ServeSettings] = None,
+    ) -> None:
+        self.blocker = blocker
+        self.settings = configured_serve_settings(settings)
+        self.stats = ServeStats()
+        self._queue = BatchQueue(self.settings)
+        self._pending: Dict[str, ServeRequest] = {}
+        self._waiters: Dict[int, "asyncio.Future[BlockDecision]"] = {}
+        self._arrivals: Dict[int, float] = {}
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._flush_handle: Optional[asyncio.Handle] = None
+        self._origin_s: Optional[float] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    async def submit(
+        self, bitmap: np.ndarray, session_id: str = "session"
+    ) -> BlockDecision:
+        """One classification request; resolves when its batch flushes."""
+        loop = asyncio.get_running_loop()
+        now_ms = self._now_ms(loop)
+        self.stats.submitted += 1
+        key = self.blocker.fingerprint(bitmap)
+        cached = self.blocker.memoized_decision(key=key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            self.stats.answered += 1
+            self._record(now_ms, now_ms, now_ms)
+            return cached
+        self._next_id += 1
+        request = ServeRequest(
+            request_id=self._next_id,
+            session_id=session_id,
+            key=key,
+            bitmap=bitmap,
+            arrival_ms=now_ms,
+        )
+        future: "asyncio.Future[BlockDecision]" = loop.create_future()
+        leader = self._pending.get(key)
+        if leader is not None:
+            leader.coalesced.append(request)
+            self.stats.coalesced += 1
+        else:
+            if not self._queue.offer(request, now_ms):
+                self.stats.shed += 1
+                raise ServeOverloadError(
+                    f"queue depth {self._queue.depth} at its bound "
+                    f"({self.settings.max_depth}); request shed"
+                )
+            self._pending[key] = request
+        self._waiters[request.request_id] = future
+        self._arrivals[request.request_id] = now_ms
+        if self._queue.due(now_ms):
+            # defer to a callback instead of flushing inline: submit
+            # returns immediately, and a burst of submits already on
+            # the ready queue gets to enqueue (or shed) before the
+            # flush runs — admission control stays observable
+            self._schedule_flush(loop)
+        else:
+            self._arm_timer(loop)
+        return await future
+
+    async def drain(self) -> None:
+        """Flush everything still queued, deadline or not."""
+        loop = asyncio.get_running_loop()
+        self._flush(loop, force=True)
+
+    async def aclose(self) -> None:
+        """Drain pending requests and disarm the flush timer."""
+        await self.drain()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    @property
+    def depth(self) -> int:
+        return self._queue.depth
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _now_ms(self, loop: asyncio.AbstractEventLoop) -> float:
+        if self._origin_s is None:
+            self._origin_s = loop.time()
+        return (loop.time() - self._origin_s) * 1000.0
+
+    def _arm_timer(self, loop: asyncio.AbstractEventLoop) -> None:
+        deadline = self._queue.next_deadline_ms()
+        if deadline is None or self._timer is not None:
+            return
+        delay_s = max(deadline - self._now_ms(loop), 0.0) / 1000.0
+        self._timer = loop.call_later(delay_s, self._on_deadline, loop)
+
+    def _on_deadline(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._timer = None
+        if self._queue.due(self._now_ms(loop)):
+            self._flush(loop)
+        self._arm_timer(loop)
+
+    def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_handle is None:
+            self._flush_handle = loop.call_soon(self._run_flush, loop)
+
+    def _run_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._flush_handle = None
+        self._flush(loop)
+
+    def _flush(
+        self, loop: asyncio.AbstractEventLoop, force: bool = False
+    ) -> None:
+        while True:
+            flush_ms = self._now_ms(loop)
+            batch = self._queue.pop_batch(flush_ms, force=force)
+            if batch is None:
+                break
+            bitmaps = [request.bitmap for request in batch]
+            keys = [request.key for request in batch]
+            pool = self.blocker.pool
+            capacity = (
+                pool.available_capacity
+                if pool is not None and hasattr(pool, "available_capacity")
+                else 0
+            )
+            try:
+                decisions = self.blocker.decide_many(bitmaps, keys=keys)
+            except Exception as exc:
+                # the batch is already popped: its waiters must hear
+                # about the failure, not hang, and its keys must leave
+                # _pending so later duplicates are not coalesced onto a
+                # leader that no longer exists
+                for request in batch:
+                    self._pending.pop(request.key, None)
+                    for settled in (request, *request.coalesced):
+                        future = self._waiters.pop(settled.request_id)
+                        self._arrivals.pop(settled.request_id)
+                        if not future.done():
+                            future.set_exception(exc)
+                        self.stats.failed += 1
+                continue
+            complete_ms = self._now_ms(loop)
+            for request, decision in zip(batch, decisions):
+                self._pending.pop(request.key, None)
+                for settled in (request, *request.coalesced):
+                    future = self._waiters.pop(settled.request_id)
+                    arrival_ms = self._arrivals.pop(settled.request_id)
+                    if not future.done():
+                        future.set_result(decision)
+                    self.stats.answered += 1
+                    self._record(arrival_ms, flush_ms, complete_ms)
+            self.stats.batches += 1
+            self.stats.batched_requests += len(batch)
+            self.stats.capacity_samples.append(capacity)
+        # re-arm for whatever is still queued (partial batch)
+        if self._timer is None and self._queue.depth:
+            self._arm_timer(loop)
+
+    def _record(
+        self, arrival_ms: float, flush_ms: float, complete_ms: float
+    ) -> None:
+        self.stats.queue_wait_ms.add(flush_ms - arrival_ms)
+        self.stats.service_ms.add(complete_ms - flush_ms)
+        self.stats.total_ms.add(complete_ms - arrival_ms)

@@ -1,0 +1,131 @@
+"""Serving-layer latency and throughput accounting.
+
+Per-request latency is split into the two components that matter for
+tuning the micro-batcher: **queue wait** (arrival → flush; grows with
+``max_wait_ms`` and shrinks with traffic, because full batches flush
+early) and **service** (flush → answer; batch compute plus any time
+spent queued behind an earlier batch on the compute lane).  Batch-level
+stats record how well coalescing is doing: mean batch size, riders
+(fingerprint-coalesced duplicates), and the pool capacity observed at
+each flush.
+
+All percentiles are computed on demand from the raw samples — serving
+simulations are small enough that exact percentiles beat streaming
+sketches on both precision and code size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+
+
+class LatencySummary:
+    """Accumulates latency samples; exact percentiles on demand."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise ValueError("latency samples cannot be negative")
+        self._samples.append(float(value_ms))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the samples; 0.0 when no
+        samples have been recorded yet."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    @property
+    def max(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.max(self._samples))
+
+
+@dataclass
+class ServeStats:
+    """Aggregate outcome of a serving run (simulated or real)."""
+
+    submitted: int = 0
+    answered: int = 0
+    shed: int = 0
+    #: requests whose batch's classification raised after it was popped
+    #: (asyncio front only: their awaiters receive the exception)
+    failed: int = 0
+    #: answered straight from the shared memo, bypassing the queue
+    memo_hits: int = 0
+    #: duplicate-fingerprint requests that rode along with a queued
+    #: leader instead of occupying their own batch slot
+    coalesced: int = 0
+    batches: int = 0
+    #: sum of *unique* requests across flushed batches
+    batched_requests: int = 0
+    #: worker-pool capacity observed at each flush (0 = in-process)
+    capacity_samples: List[int] = field(default_factory=list)
+    queue_wait_ms: LatencySummary = field(default_factory=LatencySummary)
+    service_ms: LatencySummary = field(default_factory=LatencySummary)
+    total_ms: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def conserved(self) -> bool:
+        """The serving conservation law: every submitted request was
+        answered, explicitly shed, or explicitly failed — nothing lost,
+        nothing invented."""
+        return self.submitted == self.answered + self.shed + self.failed
+
+    def to_table(self, title: str = "Serving metrics") -> str:
+        rows = [
+            ("requests submitted", self.submitted),
+            ("requests answered", self.answered),
+            ("requests shed (backpressure)", self.shed),
+            ("requests failed (batch error)", self.failed),
+            ("memo hits (no queue entry)", self.memo_hits),
+            ("coalesced duplicates", self.coalesced),
+            ("batches flushed", self.batches),
+            ("mean batch size", f"{self.mean_batch_size:.2f}"),
+            ("queue wait p50/p95/p99 (ms)",
+             f"{self.queue_wait_ms.p50:.2f} / {self.queue_wait_ms.p95:.2f}"
+             f" / {self.queue_wait_ms.p99:.2f}"),
+            ("service p50/p95/p99 (ms)",
+             f"{self.service_ms.p50:.2f} / {self.service_ms.p95:.2f}"
+             f" / {self.service_ms.p99:.2f}"),
+            ("total p50/p95/p99 (ms)",
+             f"{self.total_ms.p50:.2f} / {self.total_ms.p95:.2f}"
+             f" / {self.total_ms.p99:.2f}"),
+        ]
+        table = format_table(("metric", "value"), rows)
+        return f"{title}\n{table}"

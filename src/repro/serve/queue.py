@@ -1,0 +1,119 @@
+"""Deadline-based micro-batch coalescing.
+
+:class:`BatchQueue` is the data structure at the heart of the serving
+layer: independent classification requests (from many concurrent page
+sessions) enter one at a time and leave as shard-sized batches.  A
+batch flushes when it reaches ``max_batch`` requests **or** when its
+oldest request has waited ``max_wait_ms`` — whichever comes first — so
+throughput-friendly batching can never hold a single quiet-hour request
+hostage.
+
+The queue is deliberately pure: it never reads a wall clock.  Every
+operation takes ``now_ms`` explicitly, so the deterministic virtual-
+clock serve loop, the asyncio front door, and the Hypothesis property
+suite all drive the *same* code with their own notion of time.
+
+Admission control is part of the type: ``offer`` refuses requests past
+``max_depth`` and counts them as shed.  A refused request is an
+explicit backpressure signal to the caller — the conservation invariant
+the property suite pins is "every submitted request is either answered
+or *visibly* shed", never silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.core.config import ServeSettings
+
+
+@dataclass
+class ServeRequest:
+    """One classification request inside the serving layer."""
+
+    request_id: int
+    session_id: str
+    key: str
+    bitmap: np.ndarray
+    arrival_ms: float
+    #: requests with the same fingerprint that arrived while this one
+    #: was queued; they ride along and share the computed verdict
+    #: without consuming queue depth or a batch slot
+    coalesced: List["ServeRequest"] = field(default_factory=list)
+
+
+class BatchQueue:
+    """FIFO request queue with deadline-based batch coalescing."""
+
+    def __init__(self, settings: Optional[ServeSettings] = None) -> None:
+        self.settings = settings or ServeSettings()
+        self._queue: Deque[ServeRequest] = deque()
+        #: requests refused at admission (explicit backpressure)
+        self.shed_count = 0
+        #: requests accepted over the queue's lifetime
+        self.accepted_count = 0
+        #: requests handed out in popped batches
+        self.flushed_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (coalesced riders excluded)."""
+        return len(self._queue)
+
+    def next_deadline_ms(self) -> Optional[float]:
+        """Virtual time by which the oldest request must flush, or
+        ``None`` when the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_ms + self.settings.max_wait_ms
+
+    def due(self, now_ms: float) -> bool:
+        """True when a batch must flush now: a full ``max_batch`` is
+        waiting, or the oldest request's deadline has arrived."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.settings.max_batch:
+            return True
+        return now_ms >= self._queue[0].arrival_ms + self.settings.max_wait_ms
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def offer(self, request: ServeRequest, now_ms: float) -> bool:
+        """Admit ``request`` at ``now_ms``; ``False`` means it was shed.
+
+        Sheds exactly when the queue already holds ``max_depth``
+        requests — bounded memory under overload, and the caller gets
+        the backpressure signal synchronously (no request ever enters
+        and then disappears).
+        """
+        if now_ms < request.arrival_ms:
+            raise ValueError("cannot admit a request before it arrives")
+        if len(self._queue) >= self.settings.max_depth:
+            self.shed_count += 1
+            return False
+        self._queue.append(request)
+        self.accepted_count += 1
+        return True
+
+    def pop_batch(
+        self, now_ms: float, force: bool = False
+    ) -> Optional[List[ServeRequest]]:
+        """The next due batch (oldest ``<= max_batch`` requests), or
+        ``None`` when nothing is due.  ``force=True`` flushes whatever
+        is queued regardless of deadlines (drain/shutdown)."""
+        if not self._queue:
+            return None
+        if not force and not self.due(now_ms):
+            return None
+        size = min(len(self._queue), self.settings.max_batch)
+        batch = [self._queue.popleft() for _ in range(size)]
+        self.flushed_count += len(batch)
+        return batch

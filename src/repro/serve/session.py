@@ -1,0 +1,161 @@
+"""Simulated multi-user traffic and the renderer's serving bridge.
+
+PERCIVAL's deployment is many concurrent page renders feeding one
+in-browser model.  :func:`synthesize_traffic` builds that workload as a
+deterministic trace: N page sessions, each decoding a stream of frames,
+where a configurable fraction of frames are *shared creatives* — the
+same ad unit syndicated across sites — so cross-session memoization and
+fingerprint coalescing have something real to bite on.
+
+:class:`RenderServeBridge` is the hook that routes a renderer's
+async-mode decodes through the micro-batching layer: misses enqueue
+during raster (paint never waits), and the page's pending frames
+classify in ``max_batch``-sized chunks at drain time.  The bridge keeps
+one blocker across pages, so a creative classified while serving one
+page session answers every later session from the shared memo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.blocker import BlockDecision, PercivalBlocker
+from repro.core.config import ServeSettings, configured_serve_settings
+from repro.serve.loop import ArrivalEvent, BatchComputeModel
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of a synthesized multi-session request stream."""
+
+    sessions: int = 8
+    frames_per_session: int = 12
+    #: fraction of frames drawn from the shared creative pool (the same
+    #: ad syndicated across pages) rather than freshly generated
+    duplicate_fraction: float = 0.3
+    #: size of that shared pool
+    shared_creatives: int = 6
+    #: fraction of *fresh* frames that are ads (shared pool is half ads)
+    ad_fraction: float = 0.5
+    #: mean virtual inter-arrival gap between one session's frames
+    mean_gap_ms: float = 2.0
+    #: virtual stagger between session starts
+    session_stagger_ms: float = 1.0
+    seed: int = 0
+
+
+def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]:
+    """A deterministic multi-session arrival trace for the serve loop.
+
+    Frames are real synthesized creatives/content (the same generators
+    the calibration gate and training corpus use), and arrival times
+    are virtual milliseconds — the trace replays identically for a
+    given spec, so simulation assertions can be exact.
+    """
+    # leaf import: the synth generators stay out of serve's import graph
+    # for deployments that only use the asyncio front door
+    from repro.synth.adgen import AdSpec, generate_ad
+    from repro.synth.contentgen import generate_content
+
+    spec = spec or TrafficSpec()
+    rng = spawn_rng(spec.seed, "serve-traffic")
+    shared: List[np.ndarray] = []
+    for index in range(spec.shared_creatives):
+        if index % 2 == 0:
+            shared.append(generate_ad(rng, AdSpec()))
+        else:
+            shared.append(generate_content(rng))
+
+    events: List[ArrivalEvent] = []
+    for session_index in range(spec.sessions):
+        session_id = f"session-{session_index:03d}"
+        at_ms = session_index * spec.session_stagger_ms
+        for _ in range(spec.frames_per_session):
+            at_ms += rng.uniform(0.0, 2.0 * spec.mean_gap_ms)
+            if shared and rng.uniform() < spec.duplicate_fraction:
+                bitmap = shared[int(rng.integers(len(shared)))]
+            elif rng.uniform() < spec.ad_fraction:
+                bitmap = generate_ad(rng, AdSpec())
+            else:
+                bitmap = generate_content(rng)
+            events.append(
+                ArrivalEvent(
+                    at_ms=at_ms, session_id=session_id, bitmap=bitmap
+                )
+            )
+    events.sort(key=lambda event: event.at_ms)
+    return events
+
+
+class RenderServeBridge:
+    """Routes a renderer's async-mode classification through batches.
+
+    The renderer calls :meth:`lookup` per decoded frame (shared-memo
+    fast path) and :meth:`enqueue` on a miss; the frame paints
+    immediately either way.  :meth:`drain` then classifies everything
+    pending in ``max_batch`` chunks through ``decide_many`` — one
+    batched forward (sharded across the worker pool when the blocker
+    holds one) instead of per-frame passes — and reports each frame's
+    verdict with its amortized virtual cost for the renderer's async
+    lanes.  The bridge outlives a single page: later sessions reuse
+    every verdict via the blocker's memo.
+    """
+
+    def __init__(
+        self,
+        blocker: PercivalBlocker,
+        settings: Optional[ServeSettings] = None,
+    ) -> None:
+        self.blocker = blocker
+        self.settings = configured_serve_settings(settings)
+        self.compute_model = BatchComputeModel.from_blocker(blocker)
+        self._pending: List[Tuple[str, np.ndarray]] = []
+        self.frames_enqueued = 0
+        self.batches_flushed = 0
+
+    def lookup(
+        self, bitmap: np.ndarray, key: Optional[str] = None
+    ) -> Optional[BlockDecision]:
+        """Shared-memo lookup; ``None`` means the frame needs compute."""
+        return self.blocker.memoized_decision(bitmap, key=key)
+
+    def fingerprint(self, bitmap: np.ndarray) -> str:
+        return self.blocker.fingerprint(bitmap)
+
+    def enqueue(self, bitmap: np.ndarray, key: str) -> None:
+        """Queue a memo-missed frame for the next drain."""
+        self._pending.append((key, bitmap))
+        self.frames_enqueued += 1
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> List[Tuple[BlockDecision, float]]:
+        """Classify everything pending, in ``max_batch`` chunks.
+
+        Returns one ``(decision, amortized_cost_ms)`` pair per enqueued
+        frame, in enqueue order.  Duplicate fingerprints within a chunk
+        share one classification (``decide_many`` deduplicates), and
+        the amortized cost splits the chunk's batched compute evenly
+        across its frames — the virtual-clock reflection of what
+        batching buys over per-frame inference.
+        """
+        drained: List[Tuple[BlockDecision, float]] = []
+        max_batch = self.settings.max_batch
+        pending, self._pending = self._pending, []
+        for start in range(0, len(pending), max_batch):
+            chunk = pending[start:start + max_batch]
+            keys = [key for key, _ in chunk]
+            bitmaps = [bitmap for _, bitmap in chunk]
+            decisions = self.blocker.decide_many(bitmaps, keys=keys)
+            per_frame_ms = float(self.compute_model(len(chunk))) / len(chunk)
+            drained.extend(
+                (decision, per_frame_ms) for decision in decisions
+            )
+            self.batches_flushed += 1
+        return drained

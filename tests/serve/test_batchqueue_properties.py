@@ -1,0 +1,156 @@
+"""Property-based tests of the micro-batching queue (hypothesis).
+
+The four laws the serving layer stands on, checked over arbitrary
+arrival/poll schedules on a virtual clock:
+
+1. **FIFO** — batches pop requests in arrival order (which implies
+   FIFO per session: a session's frames never reorder),
+2. **bounded batches** — no popped batch exceeds ``max_batch``,
+3. **deadline** — after polling at time ``t``, no request whose
+   ``max_wait_ms`` deadline has passed is still queued,
+4. **conservation** — every offered request is either admitted (and
+   eventually popped exactly once) or shed at admission; nothing is
+   lost, duplicated, or silently dropped.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ServeSettings
+from repro.serve import BatchQueue, ServeRequest
+
+_DUMMY = np.zeros((1, 1, 4), dtype=np.float32)
+
+_settings_strategy = st.builds(
+    ServeSettings,
+    max_batch=st.integers(1, 8),
+    max_wait_ms=st.floats(0.0, 10.0, allow_nan=False),
+    max_depth=st.integers(8, 24),
+)
+
+# one step per arrival: (virtual gap before it, session id, whether the
+# driver polls the queue right after admitting it)
+_schedule_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 6.0, allow_nan=False),
+        st.integers(0, 3),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drain_due(queue, now_ms, popped):
+    while True:
+        batch = queue.pop_batch(now_ms)
+        if batch is None:
+            return
+        popped.append((now_ms, batch))
+
+
+def _replay(config, schedule):
+    """Drive a queue through the schedule; returns the full history."""
+    queue = BatchQueue(config)
+    now_ms = 0.0
+    offered = []
+    admitted = []
+    shed = []
+    popped = []
+    for index, (gap_ms, session, poll) in enumerate(schedule):
+        now_ms += gap_ms
+        request = ServeRequest(
+            request_id=index,
+            session_id=f"session-{session}",
+            key=f"key-{index}",
+            bitmap=_DUMMY,
+            arrival_ms=now_ms,
+        )
+        offered.append(request)
+        assert queue.depth <= config.max_depth
+        expect_shed = queue.depth >= config.max_depth
+        accepted = queue.offer(request, now_ms)
+        assert accepted == (not expect_shed)
+        (admitted if accepted else shed).append(request)
+        if poll:
+            _drain_due(queue, now_ms, popped)
+    # end of traffic: flush whatever remains, deadline or not
+    final = queue.pop_batch(now_ms, force=True)
+    while final is not None:
+        popped.append((now_ms, final))
+        final = queue.pop_batch(now_ms, force=True)
+    return queue, offered, admitted, shed, popped
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_settings_strategy, schedule=_schedule_strategy)
+def test_fifo_and_per_session_order(config, schedule):
+    _, _, admitted, _, popped = _replay(config, schedule)
+    popped_flat = [request for _, batch in popped for request in batch]
+    # global FIFO over admitted requests...
+    assert [r.request_id for r in popped_flat] == [
+        r.request_id for r in admitted
+    ]
+    # ...which implies FIFO within every session
+    for session in {r.session_id for r in admitted}:
+        session_popped = [
+            r.request_id for r in popped_flat if r.session_id == session
+        ]
+        assert session_popped == sorted(session_popped)
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_settings_strategy, schedule=_schedule_strategy)
+def test_batches_never_exceed_max_batch(config, schedule):
+    _, _, _, _, popped = _replay(config, schedule)
+    assert all(len(batch) <= config.max_batch for _, batch in popped)
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_settings_strategy, schedule=_schedule_strategy)
+def test_no_request_held_past_deadline_at_poll(config, schedule):
+    """After any poll at time t, everything still queued is within its
+    ``max_wait_ms`` budget (and below ``max_batch``) — the queue never
+    sits on a due request."""
+    queue = BatchQueue(config)
+    now_ms = 0.0
+    for index, (gap_ms, session, poll) in enumerate(schedule):
+        now_ms += gap_ms
+        queue.offer(
+            ServeRequest(
+                request_id=index,
+                session_id=f"session-{session}",
+                key=f"key-{index}",
+                bitmap=_DUMMY,
+                arrival_ms=now_ms,
+            ),
+            now_ms,
+        )
+        if poll:
+            while queue.pop_batch(now_ms) is not None:
+                pass
+            assert not queue.due(now_ms)
+            deadline = queue.next_deadline_ms()
+            assert deadline is None or deadline > now_ms
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_settings_strategy, schedule=_schedule_strategy)
+def test_requests_are_conserved(config, schedule):
+    queue, offered, admitted, shed, popped = _replay(config, schedule)
+    popped_flat = [request for _, batch in popped for request in batch]
+    # every offer is accounted for: admitted + shed, no overlap
+    assert len(admitted) + len(shed) == len(offered)
+    assert {r.request_id for r in admitted}.isdisjoint(
+        {r.request_id for r in shed}
+    )
+    # every admitted request pops exactly once; shed ones never do
+    assert sorted(r.request_id for r in popped_flat) == sorted(
+        r.request_id for r in admitted
+    )
+    assert len({r.request_id for r in popped_flat}) == len(popped_flat)
+    # the queue's own ledger agrees
+    assert queue.accepted_count == len(admitted)
+    assert queue.shed_count == len(shed)
+    assert queue.flushed_count == len(popped_flat)
+    assert queue.depth == 0

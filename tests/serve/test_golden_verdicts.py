@@ -1,0 +1,127 @@
+"""Seeded golden-verdict regression: direct vs pooled vs served.
+
+A fixed synthesized frame set (seeded generators, deterministic network
+init) with *committed* expected P(ad) values.  Three execution paths —
+the direct blocker, the sharded worker pool, and the micro-batching
+serve loop — must all reproduce these numbers within the classifier's
+``fast_path_tolerance``, and must agree with each other bit-for-bit.
+
+This is the test that catches "the serving layer quietly changed a
+probability": any reordering, preprocessing drift, batching bug, or
+precision mix-up between the three paths lands here first.  The golden
+values were generated at fp32 from the seed-0 untrained network;
+quantized CI runs (``PERCIVAL_PRECISION=int8``) compare within their
+own gate-derived tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceWorkerPool, PercivalBlocker, ServeSettings
+from repro.serve import ArrivalEvent, ServeLoop
+from repro.utils.rng import spawn_rng
+
+#: (truth, P(ad)) per frame, committed from the fp32 seed-0 network.
+#: Regenerate ONLY on an intentional model/preprocessing change, by
+#: printing ``AdClassifier(PercivalConfig(precision="fp32"))
+#: .ad_probabilities(_golden_frames())`` and updating this table.
+GOLDEN = [
+    ("ad", 0.0133231804),
+    ("content", 0.0001993714),
+    ("ad", 0.0118639600),
+    ("content", 0.0042115068),
+    ("ad", 0.0148159377),
+    ("content", 0.0092863590),
+    ("ad", 0.0056625442),
+    ("content", 0.0103784073),
+]
+
+
+def _golden_frames():
+    """The committed frame set: alternating seeded ads and content."""
+    from repro.synth.adgen import AdSpec, generate_ad
+    from repro.synth.contentgen import generate_content
+
+    rng = spawn_rng(2024, "golden-verdicts")
+    frames = []
+    for index in range(len(GOLDEN)):
+        if index % 2 == 0:
+            frames.append(generate_ad(rng, AdSpec()))
+        else:
+            frames.append(generate_content(rng))
+    return frames
+
+
+@pytest.fixture(scope="module")
+def golden_frames():
+    return _golden_frames()
+
+
+def _direct_probabilities(classifier, frames):
+    blocker = PercivalBlocker(classifier, calibrated_latency_ms=1.0)
+    return np.array(
+        [blocker.decide(frame).probability for frame in frames]
+    )
+
+
+def _pooled_probabilities(classifier, frames):
+    with InferenceWorkerPool(num_workers=2) as pool:
+        pool.publish(classifier)
+        blocker = PercivalBlocker(
+            classifier,
+            calibrated_latency_ms=1.0,
+            pool=pool,
+            shard_min_batch=2,
+        )
+        decisions = blocker.decide_many(frames)
+        assert blocker.pool_fallbacks == 0, "pool path must not degrade"
+    return np.array([decision.probability for decision in decisions])
+
+
+def _served_probabilities(classifier, frames):
+    blocker = PercivalBlocker(classifier, calibrated_latency_ms=1.0)
+    events = [
+        ArrivalEvent(at_ms=float(i), session_id=f"s{i % 3}", bitmap=frame)
+        for i, frame in enumerate(frames)
+    ]
+    report = ServeLoop(
+        blocker, ServeSettings(max_batch=4, max_wait_ms=2.0, max_depth=32)
+    ).run(events)
+    assert report.stats.conserved()
+    assert not report.stats.shed
+    return np.array([r.decision.probability for r in report.results])
+
+
+def test_direct_path_matches_goldens(untrained_classifier, golden_frames):
+    probabilities = _direct_probabilities(untrained_classifier, golden_frames)
+    expected = np.array([value for _, value in GOLDEN])
+    tolerance = untrained_classifier.fast_path_tolerance
+    assert np.allclose(probabilities, expected, atol=tolerance), (
+        f"direct P(ad) drifted past {tolerance:g}: "
+        f"{list(map(float, probabilities))}"
+    )
+
+
+def test_all_three_paths_pinned_to_identical_outputs(
+    untrained_classifier, golden_frames
+):
+    direct = _direct_probabilities(untrained_classifier, golden_frames)
+    pooled = _pooled_probabilities(untrained_classifier, golden_frames)
+    served = _served_probabilities(untrained_classifier, golden_frames)
+    expected = np.array([value for _, value in GOLDEN])
+    tolerance = untrained_classifier.fast_path_tolerance
+    for name, probabilities in (
+        ("direct", direct), ("pooled", pooled), ("served", served)
+    ):
+        assert np.allclose(probabilities, expected, atol=tolerance), (
+            f"{name} path drifted from the goldens past {tolerance:g}"
+        )
+    # the three paths must agree with each other exactly: sharding and
+    # serving reorganize *where* compute happens, never its result
+    np.testing.assert_array_equal(direct, pooled)
+    np.testing.assert_array_equal(direct, served)
+
+
+def test_goldens_cover_both_classes():
+    truths = [truth for truth, _ in GOLDEN]
+    assert truths.count("ad") == truths.count("content") == len(GOLDEN) // 2

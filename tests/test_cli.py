@@ -16,6 +16,16 @@ class TestCli:
         out = capsys.readouterr().out
         assert "blocked" in out
 
+    def test_serve_sim_command(self, capsys, reference_classifier):
+        assert main([
+            "serve-sim", "--sessions", "3", "--frames", "4",
+            "--workers", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "requests submitted" in out
+        assert "queue wait p50/p95/p99" in out
+        assert "virtual makespan" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["definitely-not-a-command"])
@@ -24,5 +34,6 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--help"])
         out = capsys.readouterr().out
-        for command in ("train", "classify", "render", "crawl"):
+        for command in ("train", "classify", "render", "serve-sim",
+                        "crawl"):
             assert command in out
