@@ -1,11 +1,14 @@
 """Micro-batching serving layer vs sequential per-session inference.
 
-Not a paper figure — this regenerates the PR's own claim: coalescing a
+Not a paper figure — this regenerates the PR's own claims: coalescing a
 200-request mixed-session stream into shard-sized batches through
 ``repro.serve`` must match sequential per-session ``decide_many`` on
 wall-clock throughput (>= 1.0x — in practice the bigger batches win)
-while producing **identical verdicts**, and the deterministic
-simulation must conserve every request (answered + shed == submitted).
+while producing **identical verdicts**; the deterministic simulation
+must conserve every request (answered + shed == submitted); and the
+multi-lane loop over a 2-worker pool must beat the single-lane path by
+>= 1.3x in virtual makespan with bitwise-equal verdicts — the claim
+measured in virtual time, so it replays exactly on any machine.
 
 Marked ``bench_smoke`` so ``scripts/bench_smoke.sh`` runs it in
 seconds; ``PERCIVAL_BENCH_ROUNDS`` trims the timing repeats.
@@ -14,15 +17,19 @@ seconds; ``PERCIVAL_BENCH_ROUNDS`` trims the timing repeats.
 import asyncio
 import os
 import time
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
-from repro.core import PercivalBlocker, ServeSettings
+from repro.core import InferenceWorkerPool, PercivalBlocker, ServeSettings
 from repro.eval.reporting import paper_vs_measured
 from repro.serve import (
     AsyncServeFront,
+    FleetSimulator,
+    FleetSpec,
     ServeLoop,
+    SLOPolicy,
     TrafficSpec,
     synthesize_traffic,
 )
@@ -83,7 +90,7 @@ def _timed(fn):
 
 @pytest.mark.bench_smoke
 def test_served_throughput_and_verdict_equivalence(
-    reference_classifier, report_table
+    reference_classifier, report_table, bench_record
 ):
     classifier = reference_classifier
     events = synthesize_traffic(TrafficSpec(
@@ -143,19 +150,33 @@ def test_served_throughput_and_verdict_equivalence(
         f"Serving layer throughput (200-request stream, {ROUNDS} rounds)",
         rows,
     ))
+    bench_record(
+        "serving_throughput",
+        requests=requests,
+        sequential_req_per_s=requests / seq_median * 1000.0,
+        served_req_per_s=requests / srv_median * 1000.0,
+        speedup=speedup,
+        mean_batch_size=front.stats.mean_batch_size,
+        sheds=front.stats.shed,
+        max_probability_delta=max_delta,
+    )
     assert speedup >= 1.0
 
 
 @pytest.mark.bench_smoke
 def test_simulated_latency_profile(
-    reference_classifier, report_table, traffic
+    reference_classifier, report_table, traffic, bench_record
 ):
     """The deterministic virtual-clock profile of the same stream:
     conservation, batching efficiency, and the queue-wait/compute
-    split (replays identically on any machine)."""
+    split (replays identically on any machine).  Pinned to one lane —
+    this is the PR 4 serializing profile the multi-lane bench below is
+    measured against, so it must not drift with the environment's
+    PERCIVAL_SERVE_LANES."""
     blocker = PercivalBlocker(reference_classifier, calibrated_latency_ms=11.0)
     report = ServeLoop(
-        blocker, ServeSettings(max_batch=16, max_wait_ms=4.0, max_depth=128)
+        blocker,
+        ServeSettings(max_batch=16, max_wait_ms=4.0, max_depth=128, lanes=1),
     ).run(traffic)
     stats = report.stats
     # conservation under genuine overload: this trace saturates the
@@ -183,3 +204,161 @@ def test_simulated_latency_profile(
     report_table(paper_vs_measured(
         "Serving layer: deterministic latency profile", rows
     ))
+    bench_record(
+        "serving_latency_profile_single_lane",
+        requests=stats.submitted,
+        sheds=stats.shed,
+        batches=stats.batches,
+        mean_batch_size=stats.mean_batch_size,
+        queue_wait_p50_ms=stats.queue_wait_ms.p50,
+        queue_wait_p95_ms=stats.queue_wait_ms.p95,
+        queue_wait_p99_ms=stats.queue_wait_ms.p99,
+        total_p50_ms=stats.total_ms.p50,
+        total_p95_ms=stats.total_ms.p95,
+        total_p99_ms=stats.total_ms.p99,
+        makespan_ms=report.makespan_ms,
+    )
+
+
+@pytest.mark.bench_smoke
+def test_multi_lane_speedup_over_pool(
+    reference_classifier, report_table, traffic, bench_record
+):
+    """The tentpole claim: two lanes over a 2-worker pool beat the
+    single-lane serializing loop by >= 1.3x on the 200-request stream.
+
+    Speedup is the ratio of virtual makespans — both runs do the same
+    real compute (every flush calls ``decide_many``, sharded across the
+    pool), but the discrete-event clock prices lane overlap, so the
+    number is exact and machine-independent.  Lane counts are pinned
+    (1 vs 2) so the comparison cannot be skewed by the environment's
+    PERCIVAL_SERVE_LANES.  Verdicts must agree bit-for-bit: lanes move
+    *when* batches compute, never what they conclude.
+    """
+    # max_depth=256: deep enough that neither lane count sheds, so all
+    # 200 verdicts exist in both runs and compare bitwise
+    settings = ServeSettings(max_batch=32, max_wait_ms=2.0, max_depth=256)
+
+    def run(lanes: int, pool):
+        blocker = PercivalBlocker(
+            reference_classifier,
+            calibrated_latency_ms=4.0,
+            pool=pool,
+            shard_min_batch=16,
+        )
+        report = ServeLoop(
+            blocker, replace(settings, lanes=lanes)
+        ).run(traffic)
+        assert report.stats.conserved()
+        assert report.stats.shed == 0
+        assert blocker.pool_fallbacks == 0
+        return report
+
+    with InferenceWorkerPool(num_workers=2) as pool:
+        pool.publish(reference_classifier)
+        single = run(1, pool)
+        multi = run(2, pool)
+
+    single_p = np.array(
+        [r.decision.probability for r in single.results if r.decision]
+    )
+    multi_p = np.array(
+        [r.decision.probability for r in multi.results if r.decision]
+    )
+    np.testing.assert_array_equal(single_p, multi_p)
+
+    speedup = single.makespan_ms / multi.makespan_ms
+    lanes_used = sum(
+        1 for busy in multi.stats.lane_busy_ms.values() if busy > 0
+    )
+    rows = [
+        ("requests / pool workers", "-", f"{len(traffic)} / 2"),
+        ("single-lane makespan (ms)", "-", single.makespan_ms),
+        ("two-lane makespan (ms)", "-", multi.makespan_ms),
+        ("lanes actually busy", "2", lanes_used),
+        ("single-lane total p99 (ms)", "-", single.stats.total_ms.p99),
+        ("two-lane total p99 (ms)", "-", multi.stats.total_ms.p99),
+        ("multi-lane speedup (x)", ">= 1.3", speedup),
+        ("max |p_2lane - p_1lane|", "0 (bitwise)",
+         float(np.abs(single_p - multi_p).max())),
+    ]
+    report_table(paper_vs_measured(
+        "Multi-lane serve loop vs single lane (virtual time)", rows
+    ))
+    bench_record(
+        "serving_multilane_speedup",
+        requests=len(traffic),
+        pool_workers=2,
+        single_lane_makespan_ms=single.makespan_ms,
+        two_lane_makespan_ms=multi.makespan_ms,
+        speedup=speedup,
+        single_lane_p99_ms=single.stats.total_ms.p99,
+        two_lane_p99_ms=multi.stats.total_ms.p99,
+        sheds=multi.stats.shed,
+    )
+    assert lanes_used == 2
+    assert speedup >= 1.3
+
+
+@pytest.mark.bench_smoke
+def test_fleet_replay_slo_autoscaler(
+    reference_classifier, report_table, bench_record
+):
+    """Fleet simulation: p99 vs offered load across a diurnal day,
+    before (lanes pinned at 1) and after (SLO autoscaler may scale to
+    4) multi-lane — sheds conserved in both, peak p99 strictly better
+    after.  Fully virtual, so the epoch table is a deterministic
+    regression artifact."""
+    spec = FleetSpec(
+        epochs=6,
+        base_sessions=4,
+        peak_sessions=16,
+        frames_per_session=6,
+        hot_creative_bias=0.3,
+        seed=5,
+    )
+    settings = ServeSettings(max_batch=16, max_wait_ms=2.0, max_depth=64)
+
+    def replay(max_lanes: int):
+        blocker = PercivalBlocker(
+            reference_classifier, calibrated_latency_ms=8.0
+        )
+        simulator = FleetSimulator(
+            blocker,
+            settings,
+            policy=SLOPolicy(p99_target_ms=30.0, max_lanes=max_lanes),
+        )
+        report = simulator.run(spec)
+        assert report.conserved()
+        return report
+
+    before = replay(max_lanes=1)
+    after = replay(max_lanes=4)
+    assert after.offered == before.offered  # same traffic, same seeds
+    rows = [
+        ("epochs / offered requests", "-",
+         f"{spec.epochs} / {before.offered}"),
+        ("peak sessions (diurnal)", "-", spec.peak_sessions),
+        ("peak p99 before (1 lane, ms)", "-", before.peak_p99_ms),
+        ("peak p99 after (autoscaled, ms)", "< before",
+         after.peak_p99_ms),
+        ("peak lanes the policy reached", "-", after.peak_lanes),
+        ("sheds before / after", "conserved",
+         f"{before.shed} / {after.shed}"),
+    ]
+    report_table(paper_vs_measured(
+        "Fleet replay: SLO autoscaler vs pinned single lane", rows
+    ))
+    report_table(after.to_table("Fleet replay (autoscaled epochs)"))
+    bench_record(
+        "serving_fleet_autoscaler",
+        offered=after.offered,
+        peak_p99_before_ms=before.peak_p99_ms,
+        peak_p99_after_ms=after.peak_p99_ms,
+        peak_lanes=after.peak_lanes,
+        sheds_before=before.shed,
+        sheds_after=after.shed,
+    )
+    assert after.peak_lanes > 1
+    assert after.peak_p99_ms < before.peak_p99_ms
+    assert after.shed <= before.shed

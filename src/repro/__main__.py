@@ -86,7 +86,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     """Deterministic serving simulation: multi-session traffic through
-    the micro-batching layer, with the latency/backpressure report."""
+    the micro-batching layer (or, with ``--fleet``, a full diurnal-day
+    replay under the SLO autoscaler), with the latency report."""
     from repro.core import (
         PercivalBlocker,
         ServeSettings,
@@ -94,7 +95,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         get_worker_pool,
         shutdown_worker_pool,
     )
-    from repro.serve import ServeLoop, TrafficSpec, synthesize_traffic
+    from repro.serve import (
+        FleetSimulator,
+        FleetSpec,
+        ServeLoop,
+        SLOPolicy,
+        TrafficSpec,
+        synthesize_traffic,
+    )
 
     classifier = get_reference_classifier(_resolved_config(args))
     pool = get_worker_pool(classifier, num_workers=args.workers)
@@ -102,6 +110,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_depth=args.max_depth,
+        lanes=args.lanes,
+        aging_ms=args.aging_ms,
     )
     blocker = PercivalBlocker(
         classifier,
@@ -113,12 +123,30 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             classifier.config.shard_min_batch, settings.max_batch
         ),
     )
-    events = synthesize_traffic(TrafficSpec(
-        sessions=args.sessions,
-        frames_per_session=args.frames,
-        seed=args.seed,
-    ))
     try:
+        if args.fleet:
+            simulator = FleetSimulator(
+                blocker,
+                settings,
+                policy=SLOPolicy(p99_target_ms=args.p99_target_ms),
+            )
+            fleet_report = simulator.run(FleetSpec(
+                epochs=args.epochs,
+                base_sessions=max(args.sessions // 4, 1),
+                peak_sessions=args.sessions,
+                frames_per_session=args.frames,
+                seed=args.seed,
+            ))
+            print(fleet_report.to_table())
+            if not fleet_report.conserved():
+                print("CONSERVATION VIOLATED: requests lost or duplicated")
+                return 1
+            return 0
+        events = synthesize_traffic(TrafficSpec(
+            sessions=args.sessions,
+            frames_per_session=args.frames,
+            seed=args.seed,
+        ))
         report = ServeLoop(blocker, settings).run(events)
     finally:
         shutdown_worker_pool()
@@ -126,7 +154,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"serve-sim: {args.sessions} sessions x {args.frames} frames "
         f"(max_batch={settings.max_batch}, "
         f"max_wait={settings.max_wait_ms}ms, "
-        f"max_depth={settings.max_depth})"
+        f"max_depth={settings.max_depth}, "
+        f"lanes={report.stats.lanes})"
     ))
     print(f"virtual makespan: {report.makespan_ms:.1f} ms")
     if not report.stats.conserved():
@@ -253,6 +282,29 @@ def main(argv: list | None = None) -> int:
     serve_sim.add_argument(
         "--workers", type=int, default=None,
         help="worker pool size (same knob as PERCIVAL_WORKERS)",
+    )
+    serve_sim.add_argument(
+        "--lanes", type=int, default=None,
+        help="virtual compute lanes; default auto: PERCIVAL_SERVE_LANES,"
+             " else the worker pool's capacity",
+    )
+    serve_sim.add_argument(
+        "--aging-ms", type=float,
+        default=serve_defaults.aging_ms,
+        help="priority aging interval (PERCIVAL_SERVE_AGING_MS)",
+    )
+    serve_sim.add_argument(
+        "--fleet", action="store_true",
+        help="replay a diurnal traffic day under the SLO autoscaler "
+             "instead of a single flat trace",
+    )
+    serve_sim.add_argument(
+        "--epochs", type=int, default=8,
+        help="fleet mode: autoscaler observe/act steps per replay",
+    )
+    serve_sim.add_argument(
+        "--p99-target-ms", type=float, default=40.0,
+        help="fleet mode: total-latency SLO the autoscaler defends",
     )
     serve_sim.add_argument("--precision", **precision_kwargs)
 

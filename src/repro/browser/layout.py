@@ -18,6 +18,12 @@ from repro.browser.dom import Document, DomNode
 #: Default viewport width in CSS px (desktop profile).
 VIEWPORT_WIDTH = 1280
 
+#: Default viewport height in CSS px: content laid out above this line
+#: is on screen at first paint ("above the fold"), everything below it
+#: needs a scroll — the distinction the serving layer's priority lanes
+#: key dispatch order on.
+VIEWPORT_HEIGHT = 768
+
 #: Fallback block height for elements without intrinsic size.
 _DEFAULT_BLOCK_HEIGHT = 24
 _TEXT_LINE_HEIGHT = 18

@@ -55,6 +55,7 @@ def rasterize(
     config: Optional[RasterConfig] = None,
     percival_hook: Optional[PercivalHook] = None,
     classify_cost_ms: Callable[[str], float] = lambda url: 0.0,
+    on_image_first_touch: Optional[Callable[[DisplayItem], None]] = None,
 ) -> RasterResult:
     """Raster the display list over worker lanes.
 
@@ -62,6 +63,13 @@ def rasterize(
     ``percival_hook`` is given it runs on each decode — synchronously on
     the raster lane, charging ``classify_cost_ms(url)`` to that lane, the
     paper's blocking deployment.
+
+    ``on_image_first_touch`` fires once per image, with the display item
+    whose raster task is about to pay the decode, *before* the decode
+    (and therefore before ``percival_hook``) runs — it is how the
+    renderer learns each frame's on-page provenance (viewport or
+    below-the-fold) at exactly the moment the classification request is
+    born.
     """
     config = config or RasterConfig()
     lanes = WorkerLanes(config.num_workers)
@@ -90,6 +98,8 @@ def rasterize(
                     continue
                 # first touch: decode (+ classify) on this raster task
                 decoded_urls.add(item.url)
+                if on_image_first_touch is not None:
+                    on_image_first_touch(item)
                 encoded = bitmap.sk_image.encoded
                 decode_ms = (
                     encoded.pixel_count / 1000.0

@@ -32,9 +32,9 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.browser.display_list import build_display_list
+from repro.browser.display_list import DisplayItem, build_display_list
 from repro.browser.html import parse_html
-from repro.browser.layout import build_layout_tree
+from repro.browser.layout import VIEWPORT_HEIGHT, build_layout_tree
 from repro.browser.network import MockNetwork
 from repro.browser.raster import RasterConfig, rasterize
 from repro.browser.skia import BitmapImage, SkImageInfo
@@ -93,7 +93,9 @@ class ServeBridgeProtocol(Protocol):
     def lookup(self, bitmap: np.ndarray, key: Optional[str] = None):
         ...
 
-    def enqueue(self, bitmap: np.ndarray, key: str) -> None:
+    def enqueue(
+        self, bitmap: np.ndarray, key: str, priority: int = 0
+    ) -> None:
         ...
 
     def drain(self):
@@ -355,6 +357,13 @@ class Renderer:
                 return percival.classify_cost_ms(info)
 
         elif percival is not None and mode == "async":
+            # leaf import: the serve layer's priority constants, only
+            # needed when a bridge routes frames through it
+            from repro.serve.queue import (
+                PRIORITY_BELOW_FOLD,
+                PRIORITY_VIEWPORT,
+            )
+
             async_lanes = WorkerLanes(profile.raster_threads)
             keyed = _supports_keyed_verdicts(percival)
             fingerprint = percival.fingerprint if keyed else None
@@ -363,6 +372,10 @@ class Renderer:
             # after: memo hits enqueue nothing, so the raster lane must
             # charge nothing for them
             frame_enqueued = [False]
+            # display item whose first touch is paying the current
+            # decode — set by the raster callback just before the hook
+            # runs, so the hook knows the frame's on-page position
+            touched_item: List[Optional[DisplayItem]] = [None]
 
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
                 frame_enqueued[0] = False
@@ -374,7 +387,13 @@ class Renderer:
                     if cached_decision is not None:
                         metrics.memo_hits += 1
                         return cached_decision.is_ad
-                    serve_bridge.enqueue(bitmap, key)
+                    item = touched_item[0]
+                    priority = (
+                        PRIORITY_VIEWPORT
+                        if item is None or item.y < VIEWPORT_HEIGHT
+                        else PRIORITY_BELOW_FOLD
+                    )
+                    serve_bridge.enqueue(bitmap, key, priority)
                     frame_enqueued[0] = True
                     return False  # verdict lands at drain time
                 # fingerprint once per frame: the same key serves the
@@ -405,6 +424,12 @@ class Renderer:
                     return _ASYNC_ENQUEUE_COST_MS
                 return 0.0
 
+        first_touch = None
+        if serve_bridge is not None:
+
+            def first_touch(item: DisplayItem) -> None:
+                touched_item[0] = item
+
         raster = rasterize(
             display_list,
             layout_root.height,
@@ -412,6 +437,7 @@ class Renderer:
             config=self.raster_config,
             percival_hook=hook,
             classify_cost_ms=cost_fn,
+            on_image_first_touch=first_touch,
         )
         metrics.raster_ms = raster.makespan_ms
         metrics.classify_cost_ms = raster.classify_cost_ms

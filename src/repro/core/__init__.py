@@ -21,6 +21,7 @@ from repro.core.config import (
     PercivalConfig,
     ServeSettings,
     configured_precision,
+    configured_serve_lanes,
     configured_serve_settings,
     configured_worker_count,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "PercivalConfig",
     "ServeSettings",
     "configured_precision",
+    "configured_serve_lanes",
     "configured_serve_settings",
     "configured_worker_count",
     "preprocess_bitmap",

@@ -108,6 +108,16 @@ class ServeSettings:
     #: admission limit: requests queued beyond this depth are shed
     #: (explicit backpressure, never silent loss)
     max_depth: int = 128
+    #: virtual compute lanes the serve loop may overlap flushes on.
+    #: ``None`` means auto: the ``PERCIVAL_SERVE_LANES`` environment
+    #: knob if set, else the attached worker pool's capacity, else 1
+    #: (see :func:`configured_serve_lanes`).
+    lanes: int | None = None
+    #: starvation-free aging: a queued request's effective priority
+    #: improves one level for every ``aging_ms`` it has waited, so a
+    #: flood of viewport frames can delay below-the-fold frames but
+    #: never starve them.
+    aging_ms: float = 8.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -119,6 +129,10 @@ class ServeSettings:
                 "max_depth must be >= max_batch (a full batch must be "
                 "admissible)"
             )
+        if self.lanes is not None and self.lanes < 1:
+            raise ValueError("lanes must be >= 1 (or None for auto)")
+        if self.aging_ms <= 0:
+            raise ValueError("aging_ms must be > 0")
 
 
 def configured_serve_settings(
@@ -151,7 +165,37 @@ def configured_serve_settings(
                          ServeSettings.max_wait_ms),
         max_depth=_env("PERCIVAL_SERVE_MAX_DEPTH", int,
                        ServeSettings.max_depth),
+        aging_ms=_env("PERCIVAL_SERVE_AGING_MS", float,
+                      ServeSettings.aging_ms),
     )
+
+
+def configured_serve_lanes(explicit: int | None = None) -> int | None:
+    """Resolve the ``PERCIVAL_SERVE_LANES`` knob to a lane count.
+
+    Resolution order: an ``explicit`` value (``ServeSettings.lanes``)
+    wins; otherwise the ``PERCIVAL_SERVE_LANES`` environment variable is
+    consulted, where unset/empty/``"auto"`` returns ``None`` — meaning
+    the serve loop sizes its lane set from the attached worker pool's
+    ``available_capacity`` (1 when there is no pool).  An integer pins
+    the count; anything below 1 raises ``ValueError``.
+    """
+    if explicit is not None:
+        if int(explicit) < 1:
+            raise ValueError("serve lanes must be >= 1")
+        return int(explicit)
+    raw = os.environ.get("PERCIVAL_SERVE_LANES", "").strip().lower()
+    if raw in ("", "auto"):
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"PERCIVAL_SERVE_LANES must be an integer or 'auto', got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"PERCIVAL_SERVE_LANES must be >= 1, got {value}")
+    return value
 
 
 def configured_precision(explicit: str | None = None) -> str:

@@ -303,6 +303,46 @@ class InferenceWorkerPool:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def resize(self, num_workers: int) -> int:
+        """Grow or shrink the worker set to ``num_workers``; returns the
+        new count.
+
+        The autoscaling hook: growth spawns workers lazily (they attach
+        to the already-published shared segment on the next
+        ``_sync_workers``, so no re-publication and no re-packing), and
+        shrinkage stops the highest-indexed workers — the same
+        deterministic tie-break the serve loop's lanes use.  Resizing a
+        mid-dispatch pool raises: the scatter order of an in-flight
+        batch is already fixed.
+        """
+        self._ensure_open()
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self._dispatching:
+            raise WorkerPoolError("cannot resize while a batch is in flight")
+        num_workers = int(num_workers)
+        if num_workers < len(self._workers):
+            for worker in self._workers[num_workers:]:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=2.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._workers = self._workers[:num_workers]
+        self.num_workers = num_workers
+        if self._export is not None:
+            # grow eagerly so available_capacity reflects the new size
+            # immediately (shrink already took effect above)
+            self._sync_workers()
+        return self.num_workers
+
     def close(self) -> None:
         """Stop workers and release the shared segment.  Idempotent."""
         if self._closed:

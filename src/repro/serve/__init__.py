@@ -14,26 +14,44 @@ the ``PERCIVAL_SERVE_*`` knobs.
 * :class:`AsyncServeFront` — the ``asyncio`` front door
   (``await submit(bitmap)`` → :class:`BlockDecision`),
 * :class:`RenderServeBridge` — routes the renderer's async-mode
-  decodes through the batching layer,
-* :func:`synthesize_traffic` — deterministic multi-session workloads.
+  decodes through the batching layer (viewport frames first),
+* :func:`synthesize_traffic` — deterministic multi-session workloads,
+* :class:`FleetSimulator` — diurnal traffic replay driving SLO-based
+  autoscaling of lanes/workers (see ``repro.serve.fleet``).
 """
 
-from repro.core.config import ServeSettings, configured_serve_settings
+from repro.core.config import (
+    ServeSettings,
+    configured_serve_lanes,
+    configured_serve_settings,
+)
 from repro.serve.loop import (
     ArrivalEvent,
     AsyncServeFront,
     BatchComputeModel,
+    ServeClosedError,
     ServeLoop,
     ServeOverloadError,
     ServeReport,
     ServeResult,
 )
 from repro.serve.metrics import LatencySummary, ServeStats
-from repro.serve.queue import BatchQueue, ServeRequest
+from repro.serve.queue import (
+    PRIORITY_BELOW_FOLD,
+    PRIORITY_VIEWPORT,
+    BatchQueue,
+    ServeRequest,
+)
 from repro.serve.session import (
     RenderServeBridge,
     TrafficSpec,
     synthesize_traffic,
+)
+from repro.serve.fleet import (
+    FleetReport,
+    FleetSimulator,
+    FleetSpec,
+    SLOPolicy,
 )
 
 __all__ = [
@@ -41,8 +59,15 @@ __all__ = [
     "AsyncServeFront",
     "BatchComputeModel",
     "BatchQueue",
+    "FleetReport",
+    "FleetSimulator",
+    "FleetSpec",
     "LatencySummary",
+    "PRIORITY_BELOW_FOLD",
+    "PRIORITY_VIEWPORT",
     "RenderServeBridge",
+    "SLOPolicy",
+    "ServeClosedError",
     "ServeLoop",
     "ServeOverloadError",
     "ServeReport",
@@ -51,6 +76,7 @@ __all__ = [
     "ServeSettings",
     "ServeStats",
     "TrafficSpec",
+    "configured_serve_lanes",
     "configured_serve_settings",
     "synthesize_traffic",
 ]

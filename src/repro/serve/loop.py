@@ -17,8 +17,17 @@ memoization contract, and metrics:
   flushes (on ``max_batch`` or the ``max_wait_ms`` timer, whichever
   first).
 
-Both resolve duplicate work without spending compute on it, in two
-tiers: a fingerprint that hits the blocker's **memo** is answered
+Compute is modelled as a set of **lanes**.  The simulator sizes the set
+from the attached worker pool's capacity (override:
+``ServeSettings.lanes`` / ``PERCIVAL_SERVE_LANES``), and a due batch
+dispatches as soon as *any* lane is free — so a 2-worker pool really
+does overlap two flushes in virtual time instead of serializing them
+behind one scalar.  Dispatch tie-breaks on the lowest free lane index,
+which keeps the discrete-event schedule fully deterministic; one lane
+reproduces the pre-lane serializing loop exactly.
+
+Both drivers resolve duplicate work without spending compute on it, in
+two tiers: a fingerprint that hits the blocker's **memo** is answered
 immediately and never enters the queue (cross-session sharing — the
 paper's memoized deployment, lifted above the page), and a fingerprint
 already **queued** coalesces onto the queued request as a rider,
@@ -33,15 +42,20 @@ growing an unbounded queue.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.core.blocker import BlockDecision, PercivalBlocker
-from repro.core.config import ServeSettings, configured_serve_settings
+from repro.core.config import (
+    ServeSettings,
+    configured_serve_lanes,
+    configured_serve_settings,
+)
 from repro.serve.metrics import ServeStats
-from repro.serve.queue import BatchQueue, ServeRequest
+from repro.serve.queue import PRIORITY_VIEWPORT, BatchQueue, ServeRequest
 from repro.utils.clock import VirtualClock
 
 
@@ -55,6 +69,25 @@ class ServeOverloadError(RuntimeError):
     """
 
 
+class ServeClosedError(RuntimeError):
+    """The front door was closed; the request was never admitted.
+
+    Raised by :meth:`AsyncServeFront.submit` after :meth:`aclose` — a
+    closed front has drained its queue and released its executor, so
+    admitting more work could only hang the caller.
+    """
+
+
+def _pool_capacity(pool: object) -> int:
+    """Worker slots ``pool`` exposes right now (0 = no pool / no
+    capacity signal).  A non-blocking probe: duck-typed on the
+    ``available_capacity`` attribute so stub pools, closed pools, and
+    ``None`` all read as zero instead of raising."""
+    if pool is None:
+        return 0
+    return int(getattr(pool, "available_capacity", 0) or 0)
+
+
 @dataclass(frozen=True)
 class ArrivalEvent:
     """One simulated request: a frame from a page session."""
@@ -62,6 +95,9 @@ class ArrivalEvent:
     at_ms: float
     session_id: str
     bitmap: np.ndarray
+    #: scheduling class (see :mod:`repro.serve.queue`): viewport frames
+    #: outrank below-the-fold frames at every pop, subject to aging
+    priority: int = PRIORITY_VIEWPORT
 
 
 @dataclass
@@ -72,6 +108,7 @@ class ServeResult:
     session_id: str
     key: str
     arrival_ms: float
+    priority: int = PRIORITY_VIEWPORT
     decision: Optional[BlockDecision] = None
     shed: bool = False
     memo_hit: bool = False
@@ -79,6 +116,9 @@ class ServeResult:
     coalesced: bool = False
     flush_ms: float = 0.0
     complete_ms: float = 0.0
+    #: compute lane the request's batch occupied (-1 = never batched:
+    #: memo hits and sheds don't touch a lane)
+    lane: int = -1
 
     @property
     def queue_wait_ms(self) -> float:
@@ -150,10 +190,12 @@ class ServeLoop:
     ``run`` replays a traffic trace (:class:`ArrivalEvent` list) through
     the full serving stack: memo lookup, fingerprint coalescing,
     admission control, deadline/size-based flushing, and one real
-    ``decide_many`` per flushed batch.  Batch compute occupies a single
-    virtual compute lane (``compute_model`` prices it), so a slow batch
-    visibly delays the batches behind it — the p99 tail under load is a
-    property of the trace, not of the host machine.
+    ``decide_many`` per flushed batch.  Batch compute occupies one of
+    ``resolved_lanes()`` virtual compute lanes (``compute_model`` prices
+    it); with one lane a slow batch visibly delays the batches behind
+    it, with ``n`` lanes up to ``n`` flushes overlap — either way the
+    p99 tail under load is a property of the trace, not of the host
+    machine.
     """
 
     def __init__(
@@ -170,54 +212,70 @@ class ServeLoop:
             else BatchComputeModel.from_blocker(blocker)
         )
 
+    def resolved_lanes(self) -> int:
+        """The lane count this loop will simulate with.
+
+        Resolution order: ``settings.lanes`` if pinned, else the
+        ``PERCIVAL_SERVE_LANES`` environment knob, else the attached
+        worker pool's ``available_capacity`` — so by default the
+        simulator overlaps exactly as many flushes as the pool has
+        workers to absorb — else 1 (poolless = one in-process lane).
+        """
+        explicit = configured_serve_lanes(self.settings.lanes)
+        if explicit is not None:
+            return explicit
+        return max(_pool_capacity(self.blocker.pool), 1)
+
     def run(self, events: Sequence[ArrivalEvent]) -> ServeReport:
         """Replay ``events`` through the serving stack.
 
-        Discrete-event structure: the compute lane is retired first,
-        then a due batch is dispatched if the lane is free, then the
-        clock advances to the earliest of {next arrival, lane
-        completion, queue deadline}.  Gating dispatch on the lane is
-        what makes overload *visible*: while a batch computes, arrivals
-        pile into the queue, and past ``max_depth`` they shed — exactly
-        the backpressure a real single-model server exhibits.  (The
-        queue itself still never holds a due request at poll time;
-        that contract is property-tested on :class:`BatchQueue`
-        directly.)
+        Discrete-event structure: completed lanes retire first, then
+        due batches dispatch onto free lanes (lowest index first —
+        deterministic tie-break) until lanes or due batches run out,
+        then the clock advances to the earliest of {next arrival,
+        earliest busy-lane completion, queue deadline if a lane is
+        free}.  Gating dispatch on lane availability is what makes
+        overload *visible*: while every lane computes, arrivals pile
+        into the queue, and past ``max_depth`` they shed — exactly the
+        backpressure a real fixed-capacity server exhibits.  (The queue
+        itself still never holds a due request at poll time; that
+        contract is property-tested on :class:`BatchQueue` directly.)
         """
         events = sorted(events, key=lambda event: event.at_ms)
         queue = BatchQueue(self.settings)
         clock = VirtualClock()
-        stats = ServeStats()
+        stats = ServeStats(lanes=self.resolved_lanes())
         results: List[ServeResult] = []
         pending: Dict[str, ServeRequest] = {}
         #: which ServeResult belongs to each queued request (leaders
         #: and riders alike), resolved at flush time
         open_results: Dict[int, ServeResult] = {}
-        #: virtual time the single compute lane frees up (None = idle)
-        busy_until: Optional[float] = None
+        #: virtual time each compute lane frees up (<= now means idle)
+        lane_free: List[float] = [0.0] * stats.lanes
         index = 0
         next_id = 0
 
         while True:
             now = clock.now_ms
-            if busy_until is not None and now >= busy_until:
-                busy_until = None
-            if busy_until is None:
+            free_lane = self._lowest_free_lane(lane_free, now)
+            if free_lane is not None:
                 batch = queue.pop_batch(now)
                 if batch is not None:
-                    busy_until = self._flush(
-                        batch, now, pending, open_results, stats
+                    lane_free[free_lane] = self._flush(
+                        batch, now, free_lane,
+                        pending, open_results, stats,
                     )
                     continue
             arrival = events[index].at_ms if index < len(events) else None
             deadline = queue.next_deadline_ms()
+            busy = [t for t in lane_free if t > now]
             candidates = [
                 t
                 for t in (
                     arrival,
-                    busy_until,
-                    # a deadline is only actionable once the lane frees
-                    deadline if busy_until is None else None,
+                    min(busy) if busy else None,
+                    # a deadline is only actionable while a lane is free
+                    deadline if free_lane is not None else None,
                 )
                 if t is not None
             ]
@@ -243,6 +301,15 @@ class ServeLoop:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _lowest_free_lane(
+        lane_free: List[float], now_ms: float
+    ) -> Optional[int]:
+        for lane, free_at in enumerate(lane_free):
+            if free_at <= now_ms:
+                return lane
+        return None
+
     def _admit(
         self,
         event: ArrivalEvent,
@@ -260,6 +327,7 @@ class ServeLoop:
             session_id=event.session_id,
             key=key,
             arrival_ms=now_ms,
+            priority=event.priority,
         )
         cached = self.blocker.memoized_decision(key=key)
         if cached is not None:
@@ -277,6 +345,7 @@ class ServeLoop:
             key=key,
             bitmap=event.bitmap,
             arrival_ms=now_ms,
+            priority=event.priority,
         )
         leader = pending.get(key)
         if leader is not None:
@@ -299,20 +368,16 @@ class ServeLoop:
         self,
         batch: List[ServeRequest],
         now_ms: float,
+        lane: int,
         pending: Dict[str, ServeRequest],
         open_results: Dict[int, ServeResult],
         stats: ServeStats,
     ) -> float:
-        """Dispatch one batch on the (free) compute lane; returns the
-        virtual time the lane frees up again."""
+        """Dispatch one batch on the free compute lane ``lane``;
+        returns the virtual time that lane frees up again."""
         bitmaps = [request.bitmap for request in batch]
         keys = [request.key for request in batch]
-        pool = self.blocker.pool
-        capacity = (
-            pool.available_capacity
-            if pool is not None and hasattr(pool, "available_capacity")
-            else 0
-        )
+        capacity = _pool_capacity(self.blocker.pool)
         decisions = self.blocker.decide_many(bitmaps, keys=keys)
         cost_ms = float(self.compute_model(len(batch)))
         complete_ms = now_ms + cost_ms
@@ -323,11 +388,13 @@ class ServeLoop:
                 result.decision = decision
                 result.flush_ms = now_ms
                 result.complete_ms = complete_ms
+                result.lane = lane
                 stats.answered += 1
                 self._record_latency(stats, result)
         stats.batches += 1
         stats.batched_requests += len(batch)
         stats.capacity_samples.append(capacity)
+        stats.lane_busy_ms[lane] = stats.lane_busy_ms.get(lane, 0.0) + cost_ms
         return complete_ms
 
     @staticmethod
@@ -335,6 +402,7 @@ class ServeLoop:
         stats.queue_wait_ms.add(result.queue_wait_ms)
         stats.service_ms.add(result.service_ms)
         stats.total_ms.add(result.latency_ms)
+        stats.record_queue_wait(result.priority, result.queue_wait_ms)
 
 
 class AsyncServeFront:
@@ -345,19 +413,34 @@ class AsyncServeFront:
     the event loop (deferred, so a burst of submits already on the
     ready queue gets to enqueue — or shed — before compute runs); a
     partial batch flushes when its oldest request hits ``max_wait_ms``
-    via a ``call_later`` timer.  Batch compute runs on the event-loop
-    thread (numpy/BLAS release the GIL, and a dedicated executor would
-    only reorder the same GEMMs).  A full queue raises
+    via a ``call_later`` timer.  A full queue raises
     :class:`ServeOverloadError` — backpressure is the caller's signal.
+
+    Two compute placements:
+
+    * default (``use_executor=False``): batch compute runs on the
+      event-loop thread — numpy/BLAS release the GIL, and for pure
+      throughput a thread hop only reorders the same GEMMs;
+    * ``use_executor=True``: each flush's ``decide_many`` runs on a
+      dedicated **single-thread** executor, so a slow batch never
+      stalls the event loop — submits, timer callbacks, and unrelated
+      coroutines keep running, and overload stays observable *during*
+      compute, not just between batches.  The executor is deliberately
+      one thread: the blocker's scratch buffers and the worker pool's
+      dispatch protocol are not reentrant, so the front serializes
+      forwards and leaves real compute parallelism to the pool's worker
+      processes (and, in simulation, to :class:`ServeLoop`'s lanes).
     """
 
     def __init__(
         self,
         blocker: PercivalBlocker,
         settings: Optional[ServeSettings] = None,
+        use_executor: bool = False,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
+        self.use_executor = use_executor
         self.stats = ServeStats()
         self._queue = BatchQueue(self.settings)
         self._pending: Dict[str, ServeRequest] = {}
@@ -367,14 +450,24 @@ class AsyncServeFront:
         self._flush_handle: Optional[asyncio.Handle] = None
         self._origin_s: Optional[float] = None
         self._next_id = 0
+        self._closed = False
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._inflight: Set["asyncio.Task[None]"] = set()
 
     # ------------------------------------------------------------------
     # Front door
     # ------------------------------------------------------------------
     async def submit(
-        self, bitmap: np.ndarray, session_id: str = "session"
+        self,
+        bitmap: np.ndarray,
+        session_id: str = "session",
+        priority: int = PRIORITY_VIEWPORT,
     ) -> BlockDecision:
         """One classification request; resolves when its batch flushes."""
+        if self._closed:
+            raise ServeClosedError(
+                "AsyncServeFront is closed; no new requests are admitted"
+            )
         loop = asyncio.get_running_loop()
         now_ms = self._now_ms(loop)
         self.stats.submitted += 1
@@ -383,7 +476,7 @@ class AsyncServeFront:
         if cached is not None:
             self.stats.memo_hits += 1
             self.stats.answered += 1
-            self._record(now_ms, now_ms, now_ms)
+            self._record(now_ms, now_ms, now_ms, priority)
             return cached
         self._next_id += 1
         request = ServeRequest(
@@ -392,6 +485,7 @@ class AsyncServeFront:
             key=key,
             bitmap=bitmap,
             arrival_ms=now_ms,
+            priority=priority,
         )
         future: "asyncio.Future[BlockDecision]" = loop.create_future()
         leader = self._pending.get(key)
@@ -419,12 +513,20 @@ class AsyncServeFront:
         return await future
 
     async def drain(self) -> None:
-        """Flush everything still queued, deadline or not."""
+        """Flush everything still queued, deadline or not, and wait for
+        any in-flight executor batches to settle their waiters."""
         loop = asyncio.get_running_loop()
-        self._flush(loop, force=True)
+        while True:
+            self._start_flush(loop, force=True)
+            if not self._inflight:
+                break
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
 
     async def aclose(self) -> None:
-        """Drain pending requests and disarm the flush timer."""
+        """Drain pending requests, disarm the flush timer, and refuse
+        further submits.  Idempotent."""
+        self._closed = True
         await self.drain()
         if self._timer is not None:
             self._timer.cancel()
@@ -432,6 +534,9 @@ class AsyncServeFront:
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     @property
     def depth(self) -> int:
@@ -455,7 +560,7 @@ class AsyncServeFront:
     def _on_deadline(self, loop: asyncio.AbstractEventLoop) -> None:
         self._timer = None
         if self._queue.due(self._now_ms(loop)):
-            self._flush(loop)
+            self._start_flush(loop)
         self._arm_timer(loop)
 
     def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -464,9 +569,28 @@ class AsyncServeFront:
 
     def _run_flush(self, loop: asyncio.AbstractEventLoop) -> None:
         self._flush_handle = None
-        self._flush(loop)
+        self._start_flush(loop)
 
-    def _flush(
+    def _start_flush(
+        self, loop: asyncio.AbstractEventLoop, force: bool = False
+    ) -> None:
+        """Flush every due batch — inline on the event-loop thread by
+        default, or as tracked tasks computing on the executor."""
+        if not self.use_executor:
+            self._flush_sync(loop, force=force)
+            return
+        while True:
+            flush_ms = self._now_ms(loop)
+            batch = self._queue.pop_batch(flush_ms, force=force)
+            if batch is None:
+                break
+            task = loop.create_task(self._flush_batch(loop, batch, flush_ms))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        if self._timer is None and self._queue.depth:
+            self._arm_timer(loop)
+
+    def _flush_sync(
         self, loop: asyncio.AbstractEventLoop, force: bool = False
     ) -> None:
         while True:
@@ -476,48 +600,98 @@ class AsyncServeFront:
                 break
             bitmaps = [request.bitmap for request in batch]
             keys = [request.key for request in batch]
-            pool = self.blocker.pool
-            capacity = (
-                pool.available_capacity
-                if pool is not None and hasattr(pool, "available_capacity")
-                else 0
-            )
+            capacity = _pool_capacity(self.blocker.pool)
             try:
                 decisions = self.blocker.decide_many(bitmaps, keys=keys)
             except Exception as exc:
-                # the batch is already popped: its waiters must hear
-                # about the failure, not hang, and its keys must leave
-                # _pending so later duplicates are not coalesced onto a
-                # leader that no longer exists
-                for request in batch:
-                    self._pending.pop(request.key, None)
-                    for settled in (request, *request.coalesced):
-                        future = self._waiters.pop(settled.request_id)
-                        self._arrivals.pop(settled.request_id)
-                        if not future.done():
-                            future.set_exception(exc)
-                        self.stats.failed += 1
+                self._settle_failure(batch, exc)
                 continue
-            complete_ms = self._now_ms(loop)
-            for request, decision in zip(batch, decisions):
-                self._pending.pop(request.key, None)
-                for settled in (request, *request.coalesced):
-                    future = self._waiters.pop(settled.request_id)
-                    arrival_ms = self._arrivals.pop(settled.request_id)
-                    if not future.done():
-                        future.set_result(decision)
-                    self.stats.answered += 1
-                    self._record(arrival_ms, flush_ms, complete_ms)
-            self.stats.batches += 1
-            self.stats.batched_requests += len(batch)
-            self.stats.capacity_samples.append(capacity)
+            self._settle_batch(
+                batch, decisions, flush_ms, self._now_ms(loop), capacity
+            )
         # re-arm for whatever is still queued (partial batch)
         if self._timer is None and self._queue.depth:
             self._arm_timer(loop)
 
+    async def _flush_batch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        batch: List[ServeRequest],
+        flush_ms: float,
+    ) -> None:
+        """Executor-mode flush of one already-popped batch."""
+        bitmaps = [request.bitmap for request in batch]
+        keys = [request.key for request in batch]
+        capacity = _pool_capacity(self.blocker.pool)
+        try:
+            decisions = await loop.run_in_executor(
+                self._get_executor(),
+                lambda: self.blocker.decide_many(bitmaps, keys=keys),
+            )
+        except Exception as exc:
+            self._settle_failure(batch, exc)
+            return
+        self._settle_batch(
+            batch, decisions, flush_ms, self._now_ms(loop), capacity
+        )
+
+    def _get_executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._executor is None:
+            # one thread, on purpose: serializes decide_many (scratch
+            # buffers / pool dispatch are not reentrant) while keeping
+            # the event loop free during compute
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="percival-serve"
+            )
+        return self._executor
+
+    def _settle_batch(
+        self,
+        batch: List[ServeRequest],
+        decisions: Sequence[BlockDecision],
+        flush_ms: float,
+        complete_ms: float,
+        capacity: int,
+    ) -> None:
+        for request, decision in zip(batch, decisions):
+            self._pending.pop(request.key, None)
+            for settled in (request, *request.coalesced):
+                future = self._waiters.pop(settled.request_id)
+                arrival_ms = self._arrivals.pop(settled.request_id)
+                if not future.done():
+                    future.set_result(decision)
+                self.stats.answered += 1
+                self._record(
+                    arrival_ms, flush_ms, complete_ms, settled.priority
+                )
+        self.stats.batches += 1
+        self.stats.batched_requests += len(batch)
+        self.stats.capacity_samples.append(capacity)
+
+    def _settle_failure(
+        self, batch: List[ServeRequest], exc: Exception
+    ) -> None:
+        # the batch is already popped: its waiters must hear about the
+        # failure, not hang, and its keys must leave _pending so later
+        # duplicates are not coalesced onto a leader that no longer
+        # exists
+        for request in batch:
+            self._pending.pop(request.key, None)
+            for settled in (request, *request.coalesced):
+                future = self._waiters.pop(settled.request_id)
+                self._arrivals.pop(settled.request_id)
+                if not future.done():
+                    future.set_exception(exc)
+                self.stats.failed += 1
+
     def _record(
-        self, arrival_ms: float, flush_ms: float, complete_ms: float
+        self,
+        arrival_ms: float,
+        flush_ms: float,
+        complete_ms: float,
+        priority: int = PRIORITY_VIEWPORT,
     ) -> None:
         self.stats.queue_wait_ms.add(flush_ms - arrival_ms)
         self.stats.service_ms.add(complete_ms - flush_ms)
         self.stats.total_ms.add(complete_ms - arrival_ms)
+        self.stats.record_queue_wait(priority, flush_ms - arrival_ms)

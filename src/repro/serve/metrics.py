@@ -17,7 +17,7 @@ sketches on both precision and code size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -89,11 +89,31 @@ class ServeStats:
     batches: int = 0
     #: sum of *unique* requests across flushed batches
     batched_requests: int = 0
+    #: virtual compute lanes the run was simulated with (1 = the
+    #: serializing pre-lane loop; the asyncio front always reports 1)
+    lanes: int = 1
     #: worker-pool capacity observed at each flush (0 = in-process)
     capacity_samples: List[int] = field(default_factory=list)
+    #: virtual ms each lane spent computing, keyed by lane index —
+    #: utilization skew here means arrivals never overlapped enough to
+    #: fill the later lanes
+    lane_busy_ms: Dict[int, float] = field(default_factory=dict)
     queue_wait_ms: LatencySummary = field(default_factory=LatencySummary)
     service_ms: LatencySummary = field(default_factory=LatencySummary)
     total_ms: LatencySummary = field(default_factory=LatencySummary)
+    #: queue wait split by priority class — the whole point of priority
+    #: lanes is that this distribution differs across classes while the
+    #: conservation law stays priority-blind
+    queue_wait_by_priority: Dict[int, LatencySummary] = field(
+        default_factory=dict
+    )
+
+    def record_queue_wait(self, priority: int, value_ms: float) -> None:
+        """Attribute one queue-wait sample to its priority class."""
+        summary = self.queue_wait_by_priority.get(priority)
+        if summary is None:
+            summary = self.queue_wait_by_priority[priority] = LatencySummary()
+        summary.add(value_ms)
 
     @property
     def mean_batch_size(self) -> float:
@@ -117,6 +137,12 @@ class ServeStats:
             ("coalesced duplicates", self.coalesced),
             ("batches flushed", self.batches),
             ("mean batch size", f"{self.mean_batch_size:.2f}"),
+            ("compute lanes", self.lanes),
+            ("lane busy (ms)",
+             " / ".join(
+                 f"{self.lane_busy_ms.get(lane, 0.0):.1f}"
+                 for lane in range(self.lanes)
+             )),
             ("queue wait p50/p95/p99 (ms)",
              f"{self.queue_wait_ms.p50:.2f} / {self.queue_wait_ms.p95:.2f}"
              f" / {self.queue_wait_ms.p99:.2f}"),
@@ -127,5 +153,11 @@ class ServeStats:
              f"{self.total_ms.p50:.2f} / {self.total_ms.p95:.2f}"
              f" / {self.total_ms.p99:.2f}"),
         ]
+        for priority in sorted(self.queue_wait_by_priority):
+            summary = self.queue_wait_by_priority[priority]
+            rows.append(
+                (f"queue wait p50/p99 (ms) [prio {priority}]",
+                 f"{summary.p50:.2f} / {summary.p99:.2f}"),
+            )
         table = format_table(("metric", "value"), rows)
         return f"{title}\n{table}"

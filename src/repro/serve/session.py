@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.blocker import BlockDecision, PercivalBlocker
 from repro.core.config import ServeSettings, configured_serve_settings
 from repro.serve.loop import ArrivalEvent, BatchComputeModel
+from repro.serve.queue import PRIORITY_BELOW_FOLD, PRIORITY_VIEWPORT
 from repro.utils.rng import spawn_rng
 
 
@@ -45,6 +46,11 @@ class TrafficSpec:
     mean_gap_ms: float = 2.0
     #: virtual stagger between session starts
     session_stagger_ms: float = 1.0
+    #: the first N frames of each session land inside the viewport
+    #: (:data:`~repro.serve.queue.PRIORITY_VIEWPORT`); the rest are
+    #: below the fold — pages paint top-down, so the user-visible slots
+    #: are the ones decoded first
+    viewport_frames: int = 4
     seed: int = 0
 
 
@@ -74,7 +80,7 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
     for session_index in range(spec.sessions):
         session_id = f"session-{session_index:03d}"
         at_ms = session_index * spec.session_stagger_ms
-        for _ in range(spec.frames_per_session):
+        for frame_index in range(spec.frames_per_session):
             at_ms += rng.uniform(0.0, 2.0 * spec.mean_gap_ms)
             if shared and rng.uniform() < spec.duplicate_fraction:
                 bitmap = shared[int(rng.integers(len(shared)))]
@@ -82,9 +88,17 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
                 bitmap = generate_ad(rng, AdSpec())
             else:
                 bitmap = generate_content(rng)
+            priority = (
+                PRIORITY_VIEWPORT
+                if frame_index < spec.viewport_frames
+                else PRIORITY_BELOW_FOLD
+            )
             events.append(
                 ArrivalEvent(
-                    at_ms=at_ms, session_id=session_id, bitmap=bitmap
+                    at_ms=at_ms,
+                    session_id=session_id,
+                    bitmap=bitmap,
+                    priority=priority,
                 )
             )
     events.sort(key=lambda event: event.at_ms)
@@ -113,7 +127,9 @@ class RenderServeBridge:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.compute_model = BatchComputeModel.from_blocker(blocker)
-        self._pending: List[Tuple[str, np.ndarray]] = []
+        #: (priority, enqueue seq, key, bitmap) — drained most-urgent
+        #: first, FIFO within a priority class
+        self._pending: List[Tuple[int, int, str, np.ndarray]] = []
         self.frames_enqueued = 0
         self.batches_flushed = 0
 
@@ -126,9 +142,20 @@ class RenderServeBridge:
     def fingerprint(self, bitmap: np.ndarray) -> str:
         return self.blocker.fingerprint(bitmap)
 
-    def enqueue(self, bitmap: np.ndarray, key: str) -> None:
-        """Queue a memo-missed frame for the next drain."""
-        self._pending.append((key, bitmap))
+    def enqueue(
+        self,
+        bitmap: np.ndarray,
+        key: str,
+        priority: int = PRIORITY_VIEWPORT,
+    ) -> None:
+        """Queue a memo-missed frame for the next drain.
+
+        ``priority`` is the frame's provenance on the page: the
+        renderer passes :data:`PRIORITY_VIEWPORT` for frames whose slot
+        is inside the viewport and :data:`PRIORITY_BELOW_FOLD`
+        otherwise, so the drain classifies what the user can see first.
+        """
+        self._pending.append((priority, self.frames_enqueued, key, bitmap))
         self.frames_enqueued += 1
 
     @property
@@ -139,19 +166,25 @@ class RenderServeBridge:
         """Classify everything pending, in ``max_batch`` chunks.
 
         Returns one ``(decision, amortized_cost_ms)`` pair per enqueued
-        frame, in enqueue order.  Duplicate fingerprints within a chunk
-        share one classification (``decide_many`` deduplicates), and
-        the amortized cost splits the chunk's batched compute evenly
-        across its frames — the virtual-clock reflection of what
-        batching buys over per-frame inference.
+        frame, most-urgent-first: viewport frames fill the earliest
+        chunks (FIFO within a priority class), so their verdicts
+        memoize — and their ads stop flashing — before any below-the-
+        fold work runs.  The chunking itself is priority-blind: the
+        drain always flushes ``ceil(pending / max_batch)`` batches.
+        Duplicate fingerprints within a chunk share one classification
+        (``decide_many`` deduplicates), and the amortized cost splits
+        the chunk's batched compute evenly across its frames — the
+        virtual-clock reflection of what batching buys over per-frame
+        inference.
         """
         drained: List[Tuple[BlockDecision, float]] = []
         max_batch = self.settings.max_batch
         pending, self._pending = self._pending, []
+        pending.sort(key=lambda entry: (entry[0], entry[1]))
         for start in range(0, len(pending), max_batch):
             chunk = pending[start:start + max_batch]
-            keys = [key for key, _ in chunk]
-            bitmaps = [bitmap for _, bitmap in chunk]
+            keys = [key for _, _, key, _ in chunk]
+            bitmaps = [bitmap for _, _, _, bitmap in chunk]
             decisions = self.blocker.decide_many(bitmaps, keys=keys)
             per_frame_ms = float(self.compute_model(len(chunk))) / len(chunk)
             drained.extend(

@@ -238,6 +238,62 @@ class TestTeardown:
             shared_memory.SharedMemory(name=name)
 
 
+class TestResize:
+    """The autoscaling hook: capacity follows the lane count, verdicts
+    never move."""
+
+    def test_grow_spawns_workers_and_keeps_verdicts(self, untrained_classifier):
+        batch = _nchw_batch(untrained_classifier, 9)
+        with InferenceWorkerPool(num_workers=1) as pool:
+            pool.publish(untrained_classifier)
+            before = pool.predict_proba(batch)
+            assert pool.resize(3) == 3
+            assert pool.num_workers == 3
+            assert pool.available_capacity == 3
+            after = pool.predict_proba(batch)
+        assert np.array_equal(before, after)
+
+    def test_shrink_stops_highest_indexed_workers(self, untrained_classifier):
+        batch = _nchw_batch(untrained_classifier, 9)
+        with InferenceWorkerPool(num_workers=3) as pool:
+            pool.publish(untrained_classifier)
+            before = pool.predict_proba(batch)
+            assert pool.resize(1) == 1
+            assert pool.alive_workers == 1
+            assert pool.available_capacity == 1
+            after = pool.predict_proba(batch)
+        assert np.array_equal(before, after)
+
+    def test_resize_before_publish_defers_spawning(self, untrained_classifier):
+        with InferenceWorkerPool(num_workers=1) as pool:
+            assert pool.resize(2) == 2
+            assert pool.num_workers == 2
+            pool.publish(untrained_classifier)
+            assert pool.available_capacity == 2
+
+    def test_rejects_invalid_and_closed(self, untrained_classifier):
+        pool = InferenceWorkerPool(num_workers=1)
+        pool.publish(untrained_classifier)
+        with pytest.raises(ValueError):
+            pool.resize(0)
+        pool.close()
+        with pytest.raises(WorkerPoolError):
+            pool.resize(2)
+
+    def test_rejects_resize_mid_dispatch(self, untrained_classifier):
+        """An in-flight batch's scatter order is already fixed; the
+        resize must refuse rather than tear workers out from under it."""
+        with InferenceWorkerPool(num_workers=1) as pool:
+            pool.publish(untrained_classifier)
+            pool._dispatching = True
+            try:
+                with pytest.raises(WorkerPoolError):
+                    pool.resize(2)
+            finally:
+                pool._dispatching = False
+            assert pool.num_workers == 1
+
+
 class TestConfigKnob:
     def test_explicit_value_wins(self, monkeypatch):
         monkeypatch.setenv("PERCIVAL_WORKERS", "7")

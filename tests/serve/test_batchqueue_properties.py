@@ -1,16 +1,23 @@
 """Property-based tests of the micro-batching queue (hypothesis).
 
-The four laws the serving layer stands on, checked over arbitrary
+The laws the serving layer stands on, checked over arbitrary
 arrival/poll schedules on a virtual clock:
 
-1. **FIFO** — batches pop requests in arrival order (which implies
-   FIFO per session: a session's frames never reorder),
+1. **FIFO** — with uniform priority, batches pop requests in arrival
+   order (which implies FIFO per session: a session's frames never
+   reorder),
 2. **bounded batches** — no popped batch exceeds ``max_batch``,
 3. **deadline** — after polling at time ``t``, no request whose
    ``max_wait_ms`` deadline has passed is still queued,
 4. **conservation** — every offered request is either admitted (and
    eventually popped exactly once) or shed at admission; nothing is
-   lost, duplicated, or silently dropped.
+   lost, duplicated, or silently dropped — and the ledger is
+   priority-blind (admission never looks at the class),
+5. **priority order** — mixed-priority pops rank by (effective
+   priority, admission order), which preserves FIFO within every
+   ``(session, priority)`` pair, and aging bounds starvation: a
+   request that has waited ``priority * aging_ms`` ranks with the top
+   class.
 """
 
 import numpy as np
@@ -28,12 +35,33 @@ _settings_strategy = st.builds(
     max_depth=st.integers(8, 24),
 )
 
+_priority_settings_strategy = st.builds(
+    ServeSettings,
+    max_batch=st.integers(1, 8),
+    max_wait_ms=st.floats(0.0, 10.0, allow_nan=False),
+    max_depth=st.integers(8, 24),
+    aging_ms=st.floats(0.5, 16.0, allow_nan=False),
+)
+
 # one step per arrival: (virtual gap before it, session id, whether the
 # driver polls the queue right after admitting it)
 _schedule_strategy = st.lists(
     st.tuples(
         st.floats(0.0, 6.0, allow_nan=False),
         st.integers(0, 3),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+# mixed-priority schedules add a priority class (0 = viewport urgency,
+# up to 2) to every arrival
+_priority_schedule_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 6.0, allow_nan=False),
+        st.integers(0, 3),
+        st.integers(0, 2),
         st.booleans(),
     ),
     min_size=1,
@@ -154,3 +182,142 @@ def test_requests_are_conserved(config, schedule):
     assert queue.shed_count == len(shed)
     assert queue.flushed_count == len(popped_flat)
     assert queue.depth == 0
+
+
+# ----------------------------------------------------------------------
+# Priority-class properties
+# ----------------------------------------------------------------------
+def _replay_priorities(config, schedule):
+    """Drive a queue through a mixed-priority schedule.
+
+    Returns the pop history with enough context to check ordering:
+    each popped batch is ``(pop_time, [(admission_index, request)])``.
+    """
+    queue = BatchQueue(config)
+    now_ms = 0.0
+    offered = []
+    admitted = []
+    shed = []
+    popped = []
+    admission_index = {}
+
+    def drain(force=False):
+        while True:
+            batch = queue.pop_batch(now_ms, force=force)
+            if batch is None:
+                return
+            popped.append(
+                (now_ms, [(admission_index[r.request_id], r) for r in batch])
+            )
+
+    for index, (gap_ms, session, priority, poll) in enumerate(schedule):
+        now_ms += gap_ms
+        request = ServeRequest(
+            request_id=index,
+            session_id=f"session-{session}",
+            key=f"key-{index}",
+            bitmap=_DUMMY,
+            arrival_ms=now_ms,
+            priority=priority,
+        )
+        offered.append(request)
+        expect_shed = queue.depth >= config.max_depth
+        accepted = queue.offer(request, now_ms)
+        # admission is priority-blind: it sheds exactly on total depth
+        assert accepted == (not expect_shed)
+        if accepted:
+            admission_index[request.request_id] = len(admitted)
+            admitted.append(request)
+        else:
+            shed.append(request)
+        if poll:
+            drain()
+    drain(force=True)
+    return queue, offered, admitted, shed, popped
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_priority_settings_strategy,
+       schedule=_priority_schedule_strategy)
+def test_batches_rank_by_effective_priority_then_admission(
+    config, schedule
+):
+    """Every popped batch is ordered by (effective priority at pop
+    time, admission order) — the queue's published scheduling law."""
+    queue, _, _, _, popped = _replay_priorities(config, schedule)
+    for pop_ms, entries in popped:
+        ranks = [
+            (queue.effective_priority(request, pop_ms), admission)
+            for admission, request in entries
+        ]
+        assert ranks == sorted(ranks)
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_priority_settings_strategy,
+       schedule=_priority_schedule_strategy)
+def test_per_session_per_priority_fifo(config, schedule):
+    """Two frames of one session at one priority never reorder, no
+    matter how the classes interleave or age."""
+    _, _, admitted, _, popped = _replay_priorities(config, schedule)
+    popped_flat = [request for _, entries in popped for _, request in entries]
+    pairs = {(r.session_id, r.priority) for r in admitted}
+    for session, priority in pairs:
+        order = [
+            r.request_id
+            for r in popped_flat
+            if r.session_id == session and r.priority == priority
+        ]
+        assert order == sorted(order)
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=_priority_settings_strategy,
+       schedule=_priority_schedule_strategy)
+def test_priority_conservation_and_bounds(config, schedule):
+    """Conservation and batch bounds are priority-blind: the ledger
+    balances exactly as in the uniform-priority law."""
+    queue, offered, admitted, shed, popped = _replay_priorities(
+        config, schedule
+    )
+    popped_flat = [request for _, entries in popped for _, request in entries]
+    assert all(len(entries) <= config.max_batch for _, entries in popped)
+    assert len(admitted) + len(shed) == len(offered)
+    assert sorted(r.request_id for r in popped_flat) == sorted(
+        r.request_id for r in admitted
+    )
+    assert len({r.request_id for r in popped_flat}) == len(popped_flat)
+    assert queue.accepted_count == len(admitted)
+    assert queue.shed_count == len(shed)
+    assert queue.flushed_count == len(popped_flat)
+    assert queue.depth == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    aging_ms=st.floats(0.5, 8.0, allow_nan=False),
+    priority=st.integers(1, 3),
+    extra_wait=st.floats(0.0, 50.0, allow_nan=False),
+)
+def test_aging_bounds_starvation(aging_ms, priority, extra_wait):
+    """Within ``(priority + 1) * aging_ms`` of waiting, a request ranks
+    with the top class — so a sustained flood of urgent arrivals can
+    delay it a bounded amount, then only behind strictly older
+    top-class work.  (The +1 step absorbs float flooring at the exact
+    boundary.)"""
+    config = ServeSettings(aging_ms=aging_ms)
+    queue = BatchQueue(config)
+    request = ServeRequest(
+        request_id=0,
+        session_id="s",
+        key="k",
+        bitmap=_DUMMY,
+        arrival_ms=0.0,
+        priority=priority,
+    )
+    matured = (priority + 1) * aging_ms + extra_wait
+    assert queue.effective_priority(request, matured) == 0
+    # and aging never *worsens* a priority, nor goes below the top
+    for t in (0.0, aging_ms / 2, matured):
+        effective = queue.effective_priority(request, t)
+        assert 0 <= effective <= priority

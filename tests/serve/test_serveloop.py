@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import PercivalBlocker, ServeSettings, configured_serve_settings
+from repro.core.config import configured_serve_lanes
 from repro.serve import (
     ArrivalEvent,
     AsyncServeFront,
@@ -176,7 +177,12 @@ class TestServeLoopSimulation:
         blocker = _blocker(untrained_classifier)
         report = ServeLoop(
             blocker,
-            ServeSettings(max_batch=8, max_wait_ms=2.0, max_depth=64),
+            # lanes pinned to 1: the monotone-completion assertion below
+            # is the *single-lane* head-of-line contract (multi-lane
+            # runs overtake slow batches by design)
+            ServeSettings(
+                max_batch=8, max_wait_ms=2.0, max_depth=64, lanes=1
+            ),
             compute_model=spiky_model,
         ).run(events)
         assert report.stats.conserved()
@@ -395,14 +401,35 @@ class TestServeKnobs:
             "PERCIVAL_SERVE_MAX_BATCH",
             "PERCIVAL_SERVE_MAX_WAIT_MS",
             "PERCIVAL_SERVE_MAX_DEPTH",
+            "PERCIVAL_SERVE_AGING_MS",
+            "PERCIVAL_SERVE_LANES",
         ):
             monkeypatch.delenv(name, raising=False)
         assert configured_serve_settings() == ServeSettings()
+        assert configured_serve_lanes() is None
 
     def test_invalid_env_raises_with_name(self, monkeypatch):
         monkeypatch.setenv("PERCIVAL_SERVE_MAX_BATCH", "lots")
         with pytest.raises(ValueError, match="PERCIVAL_SERVE_MAX_BATCH"):
             configured_serve_settings()
+
+    def test_lanes_env_knob(self, monkeypatch):
+        monkeypatch.setenv("PERCIVAL_SERVE_LANES", "3")
+        assert configured_serve_lanes() == 3
+        # an explicit setting always wins over the environment
+        assert configured_serve_lanes(5) == 5
+        monkeypatch.setenv("PERCIVAL_SERVE_LANES", "auto")
+        assert configured_serve_lanes() is None
+        monkeypatch.setenv("PERCIVAL_SERVE_LANES", "0")
+        with pytest.raises(ValueError, match="PERCIVAL_SERVE_LANES"):
+            configured_serve_lanes()
+        monkeypatch.setenv("PERCIVAL_SERVE_LANES", "many")
+        with pytest.raises(ValueError, match="PERCIVAL_SERVE_LANES"):
+            configured_serve_lanes()
+
+    def test_aging_env_knob(self, monkeypatch):
+        monkeypatch.setenv("PERCIVAL_SERVE_AGING_MS", "2.5")
+        assert configured_serve_settings().aging_ms == 2.5
 
     def test_invalid_combinations_rejected(self):
         with pytest.raises(ValueError):
@@ -411,6 +438,10 @@ class TestServeKnobs:
             ServeSettings(max_wait_ms=-1.0)
         with pytest.raises(ValueError):
             ServeSettings(max_batch=8, max_depth=4)
+        with pytest.raises(ValueError):
+            ServeSettings(lanes=0)
+        with pytest.raises(ValueError):
+            ServeSettings(aging_ms=0.0)
 
 
 class TestLatencySummary:
