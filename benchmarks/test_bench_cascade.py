@@ -1,0 +1,119 @@
+"""Cascade confidence router vs the plain queued serve loop.
+
+The PR's tentpole claim: fronting the serve loop with the
+``repro.cascade`` router — filterlist tier, compiled micro-rule tier,
+CNN residual — must cut *mean served latency* by >= 3x on synthesized
+mixed traffic while changing **zero verdicts**.  Rule hits settle at
+arrival time in the virtual clock (no queue entry, no batch slot), so
+the win is priced exactly by the discrete-event simulation and the
+number replays bit-for-bit on any machine.
+
+Golden-verdict discipline: the cascade-off run is the PR 5 serve loop
+untouched (``cascade=False`` pins the pre-cascade path), and every one
+of its verdicts must equal the cascade-on verdict for the same request.
+Micro rules are compiled from the model's own confident verdicts, and
+the healer invalidates any filterlist rule the model disagrees with
+before it ever serves, so once healing converges the cascade is a
+latency optimization only.
+
+Marked ``bench_smoke`` so ``scripts/bench_smoke.sh`` runs it in
+seconds; the speedup is virtual-time, so PERCIVAL_BENCH_ROUNDS does
+not apply (one deterministic replay per side is exact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascade import CascadeRouter
+from repro.core import AdClassifier, PercivalBlocker, PercivalConfig, ServeSettings
+from repro.eval.reporting import paper_vs_measured
+from repro.serve import ServeLoop, TrafficSpec, synthesize_traffic
+
+#: mixed-provenance stream: 6 sites sharing ad networks and a CDN pool,
+#: deep enough (384 requests) that compiled micro rules get re-hit
+SPEC = TrafficSpec(
+    sessions=24,
+    frames_per_session=16,
+    duplicate_fraction=0.25,
+    provenance=True,
+    sites=6,
+    seed=99,
+)
+#: single lane + deep queue: no sheds on either side, so all 384
+#: verdicts exist in both runs and compare one-for-one
+SETTINGS = ServeSettings(max_batch=16, max_wait_ms=4.0, max_depth=512, lanes=1)
+
+
+def _run(traffic, cascade):
+    """One deterministic virtual-clock replay; fresh blocker per side
+    so neither run warms the other's decision memo."""
+    blocker = PercivalBlocker(
+        AdClassifier(PercivalConfig(calibrated_latency_ms=1.0)),
+        calibrated_latency_ms=1.0,
+    )
+    report = ServeLoop(blocker, SETTINGS, cascade=cascade).run(traffic)
+    assert report.stats.conserved()
+    assert report.stats.shed == 0
+    assert report.stats.failed == 0
+    return report
+
+
+@pytest.mark.bench_smoke
+def test_cascade_latency_speedup(report_table, bench_record):
+    traffic = synthesize_traffic(SPEC)
+    assert all(event.provenance is not None for event in traffic)
+
+    off = _run(traffic, cascade=False)
+    router = CascadeRouter.with_default_filterlist()
+    on = _run(traffic, cascade=router)
+
+    # --- golden verdicts: the cascade changes when, never what --------
+    off_verdicts = [(r.request_id, r.decision.is_ad) for r in off.results]
+    on_verdicts = [(r.request_id, r.decision.is_ad) for r in on.results]
+    assert sorted(off_verdicts) == sorted(on_verdicts)
+    assert off.stats.rule_hits == 0  # pinned off really is pre-cascade
+
+    # --- the tentpole ratio (virtual time, machine-independent) -------
+    off_mean = float(np.mean([r.latency_ms for r in off.results]))
+    on_mean = float(np.mean([r.latency_ms for r in on.results]))
+    speedup = off_mean / max(on_mean, 1e-9)
+
+    stats = router.stats
+    requests = len(traffic)
+    rule_hit_fraction = on.stats.rule_hits / requests
+    residual = on.stats.batched_requests / requests
+    rows = [
+        ("requests / sites", "-", f"{requests} / {SPEC.sites}"),
+        ("cascade-off mean total (ms)", "-", off_mean),
+        ("cascade-on mean total (ms)", "-", on_mean),
+        ("rule hits (no queue entry)", "-", on.stats.rule_hits),
+        ("micro / filterlist tier hits", "-",
+         f"{stats.micro_hits} / {stats.list_hits}"),
+        ("rules compiled / invalidated", "-",
+         f"{stats.compiled} / {stats.invalidations}"),
+        ("audits (model verify)", "-", stats.audits),
+        ("residual CNN fraction", "< 1.0", residual),
+        ("verdict mismatches (on vs off)", "0", 0),
+        ("cascade latency speedup (x)", ">= 3.0", speedup),
+    ]
+    report_table(paper_vs_measured(
+        "Cascade router vs queued loop (virtual time, 384 requests)",
+        rows,
+    ))
+    bench_record(
+        "serving_cascade",
+        requests=requests,
+        cascade_latency_speedup=speedup,
+        off_mean_total_ms=off_mean,
+        on_mean_total_ms=on_mean,
+        rule_hits=on.stats.rule_hits,
+        rule_hit_fraction=rule_hit_fraction,
+        residual_cnn_fraction=residual,
+        rules_compiled=stats.compiled,
+        rules_invalidated=stats.invalidations,
+        audits=stats.audits,
+        sheds=on.stats.shed,
+    )
+    assert residual < 1.0
+    assert on.stats.rule_hits > 0
+    assert speedup >= 3.0

@@ -323,10 +323,14 @@ def test_fleet_replay_slo_autoscaler(
         blocker = PercivalBlocker(
             reference_classifier, calibrated_latency_ms=8.0
         )
+        # cascade pinned off, like the lane counts: this bench measures
+        # the autoscaler, and the environment's PERCIVAL_CASCADE would
+        # absorb offered load before the policy ever sees it
         simulator = FleetSimulator(
             blocker,
             settings,
             policy=SLOPolicy(p99_target_ms=30.0, max_lanes=max_lanes),
+            cascade=False,
         )
         report = simulator.run(spec)
         assert report.conserved()

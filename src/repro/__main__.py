@@ -36,27 +36,84 @@ def _resolved_config(args: argparse.Namespace):
     return PercivalConfig(precision=args.precision)
 
 
+def _resolved_cascade(args: argparse.Namespace, config):
+    """``--cascade`` flag -> ServeLoop-style ``cascade=`` argument: a
+    router when on, ``False`` when off, ``None`` (environment knob)
+    when the flag was not given."""
+    from repro.cascade import CascadeRouter
+    from repro.core.config import configured_cascade_enabled
+
+    flag = getattr(args, "cascade", None)
+    if flag is None:
+        enabled = configured_cascade_enabled(config.cascade_enabled)
+    else:
+        enabled = flag == "on"
+    if not enabled:
+        return False
+    return CascadeRouter.with_default_filterlist(
+        confidence=config.cascade_confidence
+    )
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.cascade import CascadeHit, FrameProvenance
     from repro.core import PercivalBlocker, get_reference_classifier
     from repro.synth.adgen import AdSpec, generate_ad
     from repro.synth.contentgen import generate_content
+    from repro.synth.webgen import AD_NETWORKS
     from repro.utils.rng import spawn_rng
 
     classifier = get_reference_classifier(_resolved_config(args))
     print(f"precision: {classifier.effective_precision}")
     blocker = PercivalBlocker(classifier)
+    cascade = _resolved_cascade(args, classifier.config)
+    router = cascade if cascade is not False else None
     rng = spawn_rng(args.seed, "cli-classify")
     for index in range(args.count):
         if index % 2 == 0:
             bitmap = generate_ad(rng, AdSpec())
             truth = "ad"
+            network = AD_NETWORKS[index % len(AD_NETWORKS)]
+            url = (f"https://{network.domain}{network.path_prefix}"
+                   f"/c{index:05d}.png")
         else:
             bitmap = generate_content(rng)
             truth = "content"
-        decision = blocker.decide(bitmap)
+            url = f"https://cdn.demo.example/img/{index:05d}.jpg"
+        tier = "cnn"
+        audit = None
+        decision = None
+        if router is not None:
+            provenance = FrameProvenance(
+                url=url,
+                page_domain="demo.example",
+                width=int(bitmap.shape[1]),
+                height=int(bitmap.shape[0]),
+            )
+            routed = router.route(provenance)
+            if isinstance(routed, CascadeHit):
+                decision = routed.decision
+                tier = f"rule:{routed.tier}"
+            else:
+                audit = routed
+        if decision is None:
+            decision = blocker.decide(bitmap)
+            if router is not None:
+                if audit is not None:
+                    router.reconcile(audit, decision.is_ad)
+                else:
+                    router.absorb(provenance, decision)
         verdict = "BLOCK" if decision.is_ad else "render"
         print(f"[{truth:7s}] P(ad)={decision.probability:.3f} -> "
-              f"{verdict}")
+              f"{verdict} ({tier})")
+    if router is not None:
+        stats = router.stats
+        print(
+            f"cascade: {stats.rule_hits} rule hits "
+            f"({stats.micro_hits} micro / {stats.list_hits} list), "
+            f"{stats.audits} audits, {stats.compiled} compiled, "
+            f"{stats.invalidations} invalidated, {stats.misses} misses"
+        )
     return 0
 
 
@@ -105,6 +162,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
 
     classifier = get_reference_classifier(_resolved_config(args))
+    cascade = _resolved_cascade(args, classifier.config)
     pool = get_worker_pool(classifier, num_workers=args.workers)
     settings = ServeSettings(
         max_batch=args.max_batch,
@@ -129,6 +187,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 blocker,
                 settings,
                 policy=SLOPolicy(p99_target_ms=args.p99_target_ms),
+                cascade=cascade,
             )
             fleet_report = simulator.run(FleetSpec(
                 epochs=args.epochs,
@@ -146,8 +205,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             sessions=args.sessions,
             frames_per_session=args.frames,
             seed=args.seed,
+            provenance=cascade is not False,
         ))
-        report = ServeLoop(blocker, settings).run(events)
+        report = ServeLoop(blocker, settings, cascade=cascade).run(events)
     finally:
         shutdown_worker_pool()
     print(report.stats.to_table(
@@ -243,10 +303,17 @@ def main(argv: list | None = None) -> int:
              "PERCIVAL_PRECISION; default fp32)",
     )
 
+    cascade_kwargs = dict(
+        choices=("on", "off"), default=None,
+        help="confidence router in front of the CNN (same knob as "
+             "PERCIVAL_CASCADE; default off)",
+    )
+
     classify = sub.add_parser("classify", help="classify sample images")
     classify.add_argument("--count", type=int, default=8)
     classify.add_argument("--seed", type=int, default=0)
     classify.add_argument("--precision", **precision_kwargs)
+    classify.add_argument("--cascade", **cascade_kwargs)
 
     render = sub.add_parser("render", help="render pages with PERCIVAL")
     render.add_argument("--pages", type=int, default=5)
@@ -307,6 +374,7 @@ def main(argv: list | None = None) -> int:
         help="fleet mode: total-latency SLO the autoscaler defends",
     )
     serve_sim.add_argument("--precision", **precision_kwargs)
+    serve_sim.add_argument("--cascade", **cascade_kwargs)
 
     crawl = sub.add_parser("crawl", help="run the crawl/retrain loop")
     crawl.add_argument("--phases", type=int, default=3)

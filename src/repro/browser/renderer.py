@@ -189,6 +189,9 @@ class RenderMetrics:
     elements_collapsed_by_memory: int = 0
     flashed_ads: int = 0
     memo_hits: int = 0
+    #: frames answered by the serve bridge's cascade rule tiers
+    #: (structural verdict from provenance; no memo probe, no batch)
+    rule_hits: int = 0
 
     @property
     def render_time_ms(self) -> float:
@@ -368,6 +371,42 @@ class Renderer:
             keyed = _supports_keyed_verdicts(percival)
             fingerprint = percival.fingerprint if keyed else None
             decide = percival.decide if keyed else None
+            # cascade extensions, duck-typed so bridge stubs keep
+            # working: route() adds the rule tier in front of the memo,
+            # and enqueue() may accept the frame's provenance
+            bridge_route = getattr(serve_bridge, "route", None)
+            enqueue_takes_provenance = False
+            node_by_url: Dict[str, object] = {}
+            if serve_bridge is not None:
+                try:
+                    enqueue_takes_provenance = "provenance" in (
+                        inspect.signature(serve_bridge.enqueue).parameters
+                    )
+                except (TypeError, ValueError):
+                    enqueue_takes_provenance = False
+                if bridge_route is not None or enqueue_takes_provenance:
+                    node_by_url = {
+                        node.src: node
+                        for node in document.resource_elements()
+                    }
+
+            def frame_provenance(item: Optional[DisplayItem]):
+                """Provenance of the frame the raster lane is decoding,
+                from the display item plus its owning DOM element."""
+                if item is None:
+                    return None
+                from repro.cascade.provenance import FrameProvenance
+
+                node = node_by_url.get(item.url)
+                return FrameProvenance(
+                    url=item.url,
+                    page_domain=page.site_domain,
+                    tag=getattr(node, "tag", "img"),
+                    css_classes=tuple(getattr(node, "css_classes", ())),
+                    element_id=getattr(node, "element_id", "") or "",
+                    width=int(item.width),
+                    height=int(item.height),
+                )
             # per-frame flag set by the hook and read by cost_fn right
             # after: memo hits enqueue nothing, so the raster lane must
             # charge nothing for them
@@ -380,20 +419,46 @@ class Renderer:
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
                 frame_enqueued[0] = False
                 if serve_bridge is not None:
-                    # micro-batched deployment: consult the shared memo,
-                    # enqueue misses for the post-raster batched drain
-                    key = serve_bridge.fingerprint(bitmap)
-                    cached_decision = serve_bridge.lookup(bitmap, key=key)
-                    if cached_decision is not None:
-                        metrics.memo_hits += 1
-                        return cached_decision.is_ad
+                    # micro-batched deployment: cascade rule tier (when
+                    # the bridge has one), then the shared memo; misses
+                    # enqueue for the post-raster batched drain
                     item = touched_item[0]
+                    key = serve_bridge.fingerprint(bitmap)
+                    if bridge_route is not None:
+                        rule_hits_before = getattr(
+                            serve_bridge, "rule_hits", 0
+                        )
+                        cached_decision = bridge_route(
+                            bitmap, key=key,
+                            provenance=frame_provenance(item),
+                        )
+                        if cached_decision is not None:
+                            if getattr(
+                                serve_bridge, "rule_hits", 0
+                            ) > rule_hits_before:
+                                metrics.rule_hits += 1
+                            else:
+                                metrics.memo_hits += 1
+                            return cached_decision.is_ad
+                    else:
+                        cached_decision = serve_bridge.lookup(
+                            bitmap, key=key
+                        )
+                        if cached_decision is not None:
+                            metrics.memo_hits += 1
+                            return cached_decision.is_ad
                     priority = (
                         PRIORITY_VIEWPORT
                         if item is None or item.y < VIEWPORT_HEIGHT
                         else PRIORITY_BELOW_FOLD
                     )
-                    serve_bridge.enqueue(bitmap, key, priority)
+                    if enqueue_takes_provenance:
+                        serve_bridge.enqueue(
+                            bitmap, key, priority,
+                            provenance=frame_provenance(item),
+                        )
+                    else:
+                        serve_bridge.enqueue(bitmap, key, priority)
                     frame_enqueued[0] = True
                     return False  # verdict lands at drain time
                 # fingerprint once per frame: the same key serves the

@@ -1,0 +1,49 @@
+"""``repro.cascade``: filterlist-first confidence routing for serving.
+
+PERCIVAL's CNN decides every frame the rendering path feeds it — but
+most frames don't need a forward pass to decide.  The cascade puts two
+cheap structural tiers in front of the model (the AdGraph/WebGraph
+fusion argument, applied to the serving stack):
+
+1. **filterlist** — the frame's provenance (URL, DOM path) is checked
+   against the EasyList-style :class:`~repro.filterlist.engine.
+   FilterEngine` network and element-hiding rules, and
+2. **compiled micro-rules** — a per-site cache of rules compiled from
+   the CNN's own prior *confident* verdicts, keyed on the frame's
+   traffic source (ad network + path + size class), so a creative
+   rotation from an already-judged slot never pays another forward.
+
+Only low-confidence residuals reach the CNN, and every confident CNN
+verdict is compiled back into the micro-rule cache.  A **healer** keeps
+the rule tiers honest: rule predictions are audited against the model
+(every rule serves its first verdicts under model corroboration, and a
+sampled fraction forever after), and a rule that disagrees with the
+model repeatedly is invalidated and its frames re-route to the CNN —
+stale-list self-healing, with the CNN as the ground truth.
+
+The cascade is strictly *in front of* :class:`~repro.core.blocker.
+PercivalBlocker`: with the ``PERCIVAL_CASCADE`` knob off (the default)
+nothing here is constructed and the serving stack is bit-identical to
+the pre-cascade pipeline.  See ``docs/cascade.md``.
+"""
+
+from repro.cascade.healer import RuleHealer
+from repro.cascade.provenance import FrameProvenance
+from repro.cascade.router import (
+    CascadeAudit,
+    CascadeHit,
+    CascadeRouter,
+    CascadeStats,
+)
+from repro.cascade.rules import CascadeRule, CompiledRuleCache
+
+__all__ = [
+    "CascadeAudit",
+    "CascadeHit",
+    "CascadeRouter",
+    "CascadeRule",
+    "CascadeStats",
+    "CompiledRuleCache",
+    "FrameProvenance",
+    "RuleHealer",
+]

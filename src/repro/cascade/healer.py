@@ -1,0 +1,81 @@
+"""The healer: audit cadence + drift-driven rule invalidation.
+
+Every rule-tier prediction is either *served* (answered without the
+CNN) or *audited* (the frame still goes to the CNN and the rule's
+prediction is compared against the model's verdict).  The healer owns
+both decisions:
+
+* **cadence** — a serving rule's every ``audit_interval``-th hit is
+  audited, so even a perfectly-agreeing rule keeps paying a bounded
+  sampling tax that detects drift;
+* **corroboration** — a non-serving rule (an external filterlist match
+  that the model has not yet vouched for) audits *every* prediction
+  until it has ``corroboration`` model agreements and no standing
+  disagreement, at which point it is promoted to serving;
+* **invalidation** — ``invalidate_after`` disagreements with the model
+  permanently invalidate the rule (quarantined in the cache), and its
+  frames re-route to the CNN.
+
+Agreements never erase disagreements: a rule that is wrong
+``invalidate_after`` times over its whole life is out, no matter how
+often it was right in between — drift detection, not a reputation
+score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cascade.rules import ORIGIN_LIST, CascadeRule, CompiledRuleCache
+
+
+@dataclass
+class RuleHealer:
+    """Health bookkeeping for cascade rules (pure policy, no I/O)."""
+
+    cache: CompiledRuleCache
+    #: serving rules re-verify every Nth hit (0 disables sampling —
+    #: rules then only heal through absorb-time shadow comparisons)
+    audit_interval: int = 16
+    #: model agreements an external (list) rule needs before serving
+    corroboration: int = 2
+    #: model disagreements that invalidate a rule
+    invalidate_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.audit_interval < 0:
+            raise ValueError("audit_interval must be >= 0")
+        if self.corroboration < 1:
+            raise ValueError("corroboration must be >= 1")
+        if self.invalidate_after < 1:
+            raise ValueError("invalidate_after must be >= 1")
+
+    def should_audit(self, rule: CascadeRule) -> bool:
+        """Record one hit on a serving rule; True = audit this one."""
+        rule.hits += 1
+        if self.audit_interval and rule.hits % self.audit_interval == 0:
+            rule.audits += 1
+            return True
+        return False
+
+    def observe(self, rule: CascadeRule, agreed: bool) -> None:
+        """Fold one rule-vs-model comparison into the rule's health.
+
+        Disagreement counts toward invalidation; agreement counts
+        toward a list rule's corroboration-based promotion to serving.
+        """
+        if rule.invalidated:
+            return
+        if agreed:
+            rule.agreements += 1
+            if (
+                rule.origin == ORIGIN_LIST
+                and not rule.serving
+                and rule.disagreements == 0
+                and rule.agreements >= self.corroboration
+            ):
+                rule.serving = True
+            return
+        rule.disagreements += 1
+        if rule.disagreements >= self.invalidate_after:
+            self.cache.invalidate(rule)

@@ -1,0 +1,78 @@
+"""Frame provenance: where a bitmap came from on the page.
+
+The renderer knows far more about a frame than its pixels — the
+resource URL it was fetched from, the DOM element that owns it, and the
+slot geometry it paints into.  :class:`FrameProvenance` carries that
+context through the serving stack so the cascade's structural tiers
+(filterlist match, compiled micro-rules) can decide a frame without
+touching the CNN.
+
+Provenance is advisory: a request without it simply routes straight to
+the memo/queue tiers, and nothing in the verdict path ever *requires*
+it — the CNN remains the authority for every residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+from urllib.parse import urlparse
+
+
+@dataclass(frozen=True)
+class FrameProvenance:
+    """Renderer-side context for one decoded frame."""
+
+    #: resource URL the frame was fetched from ("" if unknown)
+    url: str
+    #: domain of the page embedding the frame (drives third-party and
+    #: ``domain=`` filter options, and scopes micro-rules per site)
+    page_domain: str
+    #: DOM path of the owning element, as the hiding rules see it
+    tag: str = "img"
+    css_classes: Tuple[str, ...] = ()
+    element_id: str = ""
+    #: slot geometry in CSS px (0 = unknown)
+    width: int = 0
+    height: int = 0
+
+    @property
+    def source(self) -> str:
+        """The frame's traffic source: host plus first path segment.
+
+        ``https://ads.doublevision.test/serve/c0001_ab.png`` →
+        ``ads.doublevision.test/serve`` — the granularity ad networks
+        actually serve at (one path prefix, many rotating creatives),
+        and therefore the key at which a compiled verdict generalizes
+        beyond a single fingerprint.
+        """
+        parsed = urlparse(self.url)
+        host = parsed.netloc.lower()
+        path = parsed.path.strip("/")
+        if not host:
+            return ""
+        first = path.split("/", 1)[0] if path else ""
+        return f"{host}/{first}" if first else host
+
+    @property
+    def size_class(self) -> str:
+        """IAB-style slot shape bucket, part of the micro-rule key.
+
+        Ad slots are strongly shape-conventional (leaderboards,
+        skyscrapers, rectangles); folding the bucket into the rule key
+        keeps a verdict for a network's banner slots from leaking onto
+        its differently-shaped inventory.
+        """
+        if self.width <= 0 or self.height <= 0:
+            return "unsized"
+        if self.width >= 3 * self.height:
+            return "banner"
+        if self.height >= 3 * self.width:
+            return "skyscraper"
+        if max(self.width, self.height) <= 120:
+            return "tile"
+        return "rectangle"
+
+    def micro_key(self) -> str:
+        """Micro-rule cache key: per-site, per-source, per-shape."""
+        return f"{self.page_domain}|{self.source}|{self.size_class}"

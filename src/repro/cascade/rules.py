@@ -1,0 +1,125 @@
+"""The compiled micro-rule cache.
+
+A :class:`CascadeRule` is one cached structural verdict: "frames from
+this source, on this site, in this slot shape, are (not) ads".  Rules
+come from two origins with different trust:
+
+* ``"micro"`` — compiled from the CNN's own confident verdicts.  Born
+  serving: the model corroborated them by construction.
+* ``"list"`` — backed by an external filterlist match.  Born *not*
+  serving: an external rule must first be corroborated by the model
+  (its first predictions are audited) before its verdicts are served
+  directly — which is exactly how a stale or over-broad EasyList entry
+  is prevented from ever overriding the model.
+
+Invalidation is permanent for a cache's lifetime: a key that drifted
+into disagreement is quarantined, so the same wrong rule cannot be
+recompiled an audit-interval later from the same confident-looking
+verdicts.  The frames simply go back to the CNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+#: rule origins
+ORIGIN_MICRO = "micro"
+ORIGIN_LIST = "list"
+
+
+@dataclass
+class CascadeRule:
+    """One cached structural verdict with its health ledger."""
+
+    key: str
+    verdict: bool
+    #: representative P(ad) — exact for micro rules (the compiling
+    #: verdict's probability), advisory 1.0/0.0 for list rules
+    probability: float
+    origin: str = ORIGIN_MICRO
+    #: a serving rule answers requests directly; a non-serving rule
+    #: still predicts, but its prediction is audited against the model
+    serving: bool = True
+    hits: int = 0
+    audits: int = 0
+    agreements: int = 0
+    disagreements: int = 0
+    invalidated: bool = False
+
+
+@dataclass
+class CompiledRuleCache:
+    """Per-site rule store with permanent quarantine on invalidation."""
+
+    _rules: Dict[str, CascadeRule] = field(default_factory=dict)
+    _quarantined: Set[str] = field(default_factory=set)
+    #: rules compiled from model verdicts over the cache's lifetime
+    compiled_count: int = 0
+    #: rules invalidated by the healer over the cache's lifetime
+    invalidated_count: int = 0
+
+    def get(self, key: str) -> Optional[CascadeRule]:
+        """The rule at ``key`` (serving or not), or ``None``.
+
+        Invalidated rules are returned too — callers route their frames
+        to the CNN, but the ledger stays inspectable.
+        """
+        return self._rules.get(key)
+
+    def ensure_list_rule(
+        self, key: str, verdict: bool, probability: float
+    ) -> CascadeRule:
+        """The health entry for a filterlist match, created on first
+        sight.  List rules start non-serving (corroboration required)."""
+        rule = self._rules.get(key)
+        if rule is None:
+            rule = CascadeRule(
+                key=key,
+                verdict=verdict,
+                probability=probability,
+                origin=ORIGIN_LIST,
+                serving=False,
+            )
+            self._rules[key] = rule
+        return rule
+
+    def compile_rule(
+        self, key: str, verdict: bool, probability: float
+    ) -> Optional[CascadeRule]:
+        """Compile a confident model verdict into a serving micro-rule.
+
+        Returns ``None`` without compiling when the key is quarantined
+        (a healed rule must not resurrect from the verdicts that healed
+        it) or already holds a rule.
+        """
+        if key in self._quarantined or key in self._rules:
+            return None
+        rule = CascadeRule(key=key, verdict=verdict, probability=probability)
+        self._rules[key] = rule
+        self.compiled_count += 1
+        return rule
+
+    def invalidate(self, rule: CascadeRule) -> None:
+        """Quarantine a drifting rule; its frames re-route to the CNN."""
+        if rule.invalidated:
+            return
+        rule.invalidated = True
+        rule.serving = False
+        self._quarantined.add(rule.key)
+        self.invalidated_count += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._rules)
+
+    @property
+    def serving_count(self) -> int:
+        return sum(1 for rule in self._rules.values() if rule.serving)
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)

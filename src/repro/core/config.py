@@ -47,6 +47,14 @@ class PercivalConfig:
     #: quantized artifact may show on the held-out calibration batch
     #: before the precision is rejected (falls back to fp32).
     quantization_drift_tolerance: float = 1e-2
+    #: enable the :mod:`repro.cascade` confidence router in front of
+    #: the serving stack; None defers to the ``PERCIVAL_CASCADE``
+    #: environment knob (see :func:`configured_cascade_enabled`).
+    #: Off reproduces the pre-cascade pipeline bit for bit.
+    cascade_enabled: bool | None = None
+    #: minimum model confidence ``max(P(ad), 1 - P(ad))`` a verdict
+    #: needs before the cascade compiles it into a micro-rule.
+    cascade_confidence: float = 0.9
 
     @classmethod
     def paper(cls) -> "PercivalConfig":
@@ -63,6 +71,8 @@ class PercivalConfig:
         payload.pop("shard_min_batch")
         payload.pop("precision")
         payload.pop("quantization_drift_tolerance")
+        payload.pop("cascade_enabled")
+        payload.pop("cascade_confidence")
         return payload
 
 
@@ -196,6 +206,29 @@ def configured_serve_lanes(explicit: int | None = None) -> int | None:
     if value < 1:
         raise ValueError(f"PERCIVAL_SERVE_LANES must be >= 1, got {value}")
     return value
+
+
+def configured_cascade_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the ``PERCIVAL_CASCADE`` knob to on/off.
+
+    Resolution order: an ``explicit`` value (e.g.
+    ``PercivalConfig.cascade_enabled``) wins; otherwise the
+    ``PERCIVAL_CASCADE`` environment variable is consulted, where
+    unset/empty/``off``/``0``/``false``/``no`` means off — the
+    bit-identical pre-cascade pipeline — and ``on``/``1``/``true``/
+    ``yes`` enables the confidence router.  Anything else raises
+    ``ValueError``.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("PERCIVAL_CASCADE", "").strip().lower()
+    if raw in ("", "off", "0", "false", "no"):
+        return False
+    if raw in ("on", "1", "true", "yes"):
+        return True
+    raise ValueError(
+        f"PERCIVAL_CASCADE must be 'on' or 'off', got {raw!r}"
+    )
 
 
 def configured_precision(explicit: str | None = None) -> str:

@@ -18,10 +18,18 @@ the ``PERCIVAL_SERVE_*`` knobs.
 * :func:`synthesize_traffic` — deterministic multi-session workloads,
 * :class:`FleetSimulator` — diurnal traffic replay driving SLO-based
   autoscaling of lanes/workers (see ``repro.serve.fleet``).
+
+With the ``PERCIVAL_CASCADE`` knob on, every entry point accepts a
+:class:`~repro.cascade.CascadeRouter` (``cascade=``) that resolves
+most provenance-tagged frames from rule tiers before the memo/queue —
+see ``repro.cascade`` and ``docs/cascade.md``.
 """
 
+from repro.cascade.provenance import FrameProvenance
+from repro.cascade.router import CascadeRouter, CascadeStats, resolve_cascade
 from repro.core.config import (
     ServeSettings,
+    configured_cascade_enabled,
     configured_serve_lanes,
     configured_serve_settings,
 )
@@ -59,9 +67,12 @@ __all__ = [
     "AsyncServeFront",
     "BatchComputeModel",
     "BatchQueue",
+    "CascadeRouter",
+    "CascadeStats",
     "FleetReport",
     "FleetSimulator",
     "FleetSpec",
+    "FrameProvenance",
     "LatencySummary",
     "PRIORITY_BELOW_FOLD",
     "PRIORITY_VIEWPORT",
@@ -76,7 +87,9 @@ __all__ = [
     "ServeSettings",
     "ServeStats",
     "TrafficSpec",
+    "configured_cascade_enabled",
     "configured_serve_lanes",
     "configured_serve_settings",
+    "resolve_cascade",
     "synthesize_traffic",
 ]

@@ -236,7 +236,11 @@ class FleetSimulator:
         policy: Optional[SLOPolicy] = None,
         compute_model: Optional[Callable[[int], float]] = None,
         initial_lanes: int = 1,
+        cascade: "object | None | bool" = None,
     ) -> None:
+        # leaf import: only the fleet constructor resolves the knob
+        from repro.cascade.router import resolve_cascade
+
         if initial_lanes < 1:
             raise ValueError("initial_lanes must be >= 1")
         self.blocker = blocker
@@ -244,6 +248,10 @@ class FleetSimulator:
         self.policy = policy or SLOPolicy()
         self.compute_model = compute_model
         self.initial_lanes = initial_lanes
+        #: resolved once and shared by every epoch's ServeLoop, so the
+        #: compiled rule cache (and its quarantine) persists across the
+        #: whole simulated day — rules learned at dawn serve the peak
+        self.cascade = resolve_cascade(cascade, blocker.classifier.config)
 
     def run(self, spec: Optional[FleetSpec] = None) -> FleetReport:
         spec = spec or FleetSpec()
@@ -254,6 +262,10 @@ class FleetSimulator:
         epochs: List[EpochReport] = []
         for epoch in range(spec.epochs):
             traffic = spec.epoch_traffic(epoch)
+            if self.cascade is not None and not traffic.provenance:
+                # provenance rides a separate RNG stream, so switching
+                # it on leaves the bitmap/arrival trace untouched
+                traffic = replace(traffic, provenance=True)
             events = synthesize_traffic(traffic)
             self._resize_pool(lanes)
             loop = ServeLoop(
@@ -262,6 +274,9 @@ class FleetSimulator:
                 # environment, is the authority during a fleet replay
                 replace(self.settings, lanes=lanes),
                 compute_model=self.compute_model,
+                # `or False`: a resolved None must stay off inside the
+                # epoch loop even if the environment knob flips mid-run
+                cascade=self.cascade or False,
             )
             report = loop.run(events)
             stats = report.stats

@@ -26,12 +26,21 @@ behind one scalar.  Dispatch tie-breaks on the lowest free lane index,
 which keeps the discrete-event schedule fully deterministic; one lane
 reproduces the pre-lane serializing loop exactly.
 
-Both drivers resolve duplicate work without spending compute on it, in
-two tiers: a fingerprint that hits the blocker's **memo** is answered
-immediately and never enters the queue (cross-session sharing — the
-paper's memoized deployment, lifted above the page), and a fingerprint
-already **queued** coalesces onto the queued request as a rider,
-sharing its verdict without consuming queue depth or a batch slot.
+Both drivers resolve duplicate work without spending compute on it.
+With a :class:`~repro.cascade.CascadeRouter` attached (``cascade=`` /
+the ``PERCIVAL_CASCADE`` knob), a request carrying frame provenance is
+first offered to the **cascade rule tiers** — a structural verdict
+(compiled micro-rule or corroborated filterlist match) answers at
+arrival without a memo probe, a queue entry, or lane time, and rule
+predictions under audit carry a ticket down the normal path so the
+model verdict heals the rule.  Then the classic tiers: a fingerprint
+that hits the blocker's **memo** is answered immediately and never
+enters the queue (cross-session sharing — the paper's memoized
+deployment, lifted above the page), and a fingerprint already
+**queued** coalesces onto the queued request as a rider, sharing its
+verdict without consuming queue depth or a batch slot.  Tier order is
+rule-hit → memo-hit → coalesce → queue; with the cascade off nothing
+changes, bit for bit.
 
 Admission control is explicit: a full queue sheds the request — the
 simulator records it, the asyncio front raises
@@ -48,6 +57,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.cascade.provenance import FrameProvenance
+from repro.cascade.router import CascadeHit, CascadeRouter, resolve_cascade
 from repro.core.blocker import BlockDecision, PercivalBlocker
 from repro.core.config import (
     ServeSettings,
@@ -98,6 +109,9 @@ class ArrivalEvent:
     #: scheduling class (see :mod:`repro.serve.queue`): viewport frames
     #: outrank below-the-fold frames at every pop, subject to aging
     priority: int = PRIORITY_VIEWPORT
+    #: renderer-side frame context for the cascade's rule tiers; None
+    #: (or a disabled cascade) routes straight to the memo/queue path
+    provenance: Optional[FrameProvenance] = None
 
 
 @dataclass
@@ -112,6 +126,10 @@ class ServeResult:
     decision: Optional[BlockDecision] = None
     shed: bool = False
     memo_hit: bool = False
+    #: answered by a cascade rule tier (no memo probe, no batch slot,
+    #: no lane time); ``rule_tier`` names which tier ("micro"/"list")
+    rule_hit: bool = False
+    rule_tier: str = ""
     #: rode along with an identical queued fingerprint (no batch slot)
     coalesced: bool = False
     flush_ms: float = 0.0
@@ -203,6 +221,7 @@ class ServeLoop:
         blocker: PercivalBlocker,
         settings: Optional[ServeSettings] = None,
         compute_model: Optional[Callable[[int], float]] = None,
+        cascade: "CascadeRouter | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
@@ -211,6 +230,9 @@ class ServeLoop:
             if compute_model is not None
             else BatchComputeModel.from_blocker(blocker)
         )
+        #: confidence router in front of the memo/queue tiers; None =
+        #: off (auto-resolved from PERCIVAL_CASCADE when unspecified)
+        self.cascade = resolve_cascade(cascade, blocker.classifier.config)
 
     def resolved_lanes(self) -> int:
         """The lane count this loop will simulate with.
@@ -245,6 +267,8 @@ class ServeLoop:
         queue = BatchQueue(self.settings)
         clock = VirtualClock()
         stats = ServeStats(lanes=self.resolved_lanes())
+        if self.cascade is not None:
+            stats.cascade = self.cascade.stats
         results: List[ServeResult] = []
         pending: Dict[str, ServeRequest] = {}
         #: which ServeResult belongs to each queued request (leaders
@@ -329,6 +353,21 @@ class ServeLoop:
             arrival_ms=now_ms,
             priority=event.priority,
         )
+        audit = None
+        if self.cascade is not None:
+            routed = self.cascade.route(event.provenance)
+            if isinstance(routed, CascadeHit):
+                # tier 0: cascade rule — answered at arrival, never
+                # consuming a memo probe, a batch slot, or lane time
+                result.decision = routed.decision
+                result.rule_hit = True
+                result.rule_tier = routed.tier
+                result.flush_ms = result.complete_ms = now_ms
+                stats.rule_hits += 1
+                stats.answered += 1
+                self._record_latency(stats, result)
+                return result
+            audit = routed
         cached = self.blocker.memoized_decision(key=key)
         if cached is not None:
             # tier 1: shared memo — answered instantly, no queue entry
@@ -338,6 +377,11 @@ class ServeLoop:
             stats.memo_hits += 1
             stats.answered += 1
             self._record_latency(stats, result)
+            if self.cascade is not None:
+                if audit is not None:
+                    self.cascade.reconcile(audit, cached.is_ad)
+                else:
+                    self.cascade.absorb(event.provenance, cached)
             return result
         request = ServeRequest(
             request_id=request_id,
@@ -346,6 +390,8 @@ class ServeLoop:
             bitmap=event.bitmap,
             arrival_ms=now_ms,
             priority=event.priority,
+            provenance=event.provenance,
+            audit=audit,
         )
         leader = pending.get(key)
         if leader is not None:
@@ -391,6 +437,11 @@ class ServeLoop:
                 result.lane = lane
                 stats.answered += 1
                 self._record_latency(stats, result)
+                if self.cascade is not None:
+                    if settled.audit is not None:
+                        self.cascade.reconcile(settled.audit, decision.is_ad)
+                    else:
+                        self.cascade.absorb(settled.provenance, decision)
         stats.batches += 1
         stats.batched_requests += len(batch)
         stats.capacity_samples.append(capacity)
@@ -437,11 +488,15 @@ class AsyncServeFront:
         blocker: PercivalBlocker,
         settings: Optional[ServeSettings] = None,
         use_executor: bool = False,
+        cascade: "CascadeRouter | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.use_executor = use_executor
+        self.cascade = resolve_cascade(cascade, blocker.classifier.config)
         self.stats = ServeStats()
+        if self.cascade is not None:
+            self.stats.cascade = self.cascade.stats
         self._queue = BatchQueue(self.settings)
         self._pending: Dict[str, ServeRequest] = {}
         self._waiters: Dict[int, "asyncio.Future[BlockDecision]"] = {}
@@ -462,6 +517,7 @@ class AsyncServeFront:
         bitmap: np.ndarray,
         session_id: str = "session",
         priority: int = PRIORITY_VIEWPORT,
+        provenance: Optional[FrameProvenance] = None,
     ) -> BlockDecision:
         """One classification request; resolves when its batch flushes."""
         if self._closed:
@@ -471,12 +527,26 @@ class AsyncServeFront:
         loop = asyncio.get_running_loop()
         now_ms = self._now_ms(loop)
         self.stats.submitted += 1
+        audit = None
+        if self.cascade is not None:
+            routed = self.cascade.route(provenance)
+            if isinstance(routed, CascadeHit):
+                self.stats.rule_hits += 1
+                self.stats.answered += 1
+                self._record(now_ms, now_ms, now_ms, priority)
+                return routed.decision
+            audit = routed
         key = self.blocker.fingerprint(bitmap)
         cached = self.blocker.memoized_decision(key=key)
         if cached is not None:
             self.stats.memo_hits += 1
             self.stats.answered += 1
             self._record(now_ms, now_ms, now_ms, priority)
+            if self.cascade is not None:
+                if audit is not None:
+                    self.cascade.reconcile(audit, cached.is_ad)
+                else:
+                    self.cascade.absorb(provenance, cached)
             return cached
         self._next_id += 1
         request = ServeRequest(
@@ -486,6 +556,8 @@ class AsyncServeFront:
             bitmap=bitmap,
             arrival_ms=now_ms,
             priority=priority,
+            provenance=provenance,
+            audit=audit,
         )
         future: "asyncio.Future[BlockDecision]" = loop.create_future()
         leader = self._pending.get(key)
@@ -664,6 +736,11 @@ class AsyncServeFront:
                 self._record(
                     arrival_ms, flush_ms, complete_ms, settled.priority
                 )
+                if self.cascade is not None:
+                    if settled.audit is not None:
+                        self.cascade.reconcile(settled.audit, decision.is_ad)
+                    else:
+                        self.cascade.absorb(settled.provenance, decision)
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
         self.stats.capacity_samples.append(capacity)

@@ -17,11 +17,14 @@ sketches on both precision and code size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.eval.reporting import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cascade.router import CascadeStats
 
 
 class LatencySummary:
@@ -81,6 +84,8 @@ class ServeStats:
     #: requests whose batch's classification raised after it was popped
     #: (asyncio front only: their awaiters receive the exception)
     failed: int = 0
+    #: answered by a cascade rule tier, bypassing memo and queue both
+    rule_hits: int = 0
     #: answered straight from the shared memo, bypassing the queue
     memo_hits: int = 0
     #: duplicate-fingerprint requests that rode along with a queued
@@ -107,6 +112,9 @@ class ServeStats:
     queue_wait_by_priority: Dict[int, LatencySummary] = field(
         default_factory=dict
     )
+    #: router-side cascade accounting, attached when a run serves with
+    #: the confidence router enabled (None = cascade off)
+    cascade: Optional["CascadeStats"] = None
 
     def record_queue_wait(self, priority: int, value_ms: float) -> None:
         """Attribute one queue-wait sample to its priority class."""
@@ -133,6 +141,7 @@ class ServeStats:
             ("requests answered", self.answered),
             ("requests shed (backpressure)", self.shed),
             ("requests failed (batch error)", self.failed),
+            ("rule hits (cascade, no queue entry)", self.rule_hits),
             ("memo hits (no queue entry)", self.memo_hits),
             ("coalesced duplicates", self.coalesced),
             ("batches flushed", self.batches),
@@ -159,5 +168,19 @@ class ServeStats:
                 (f"queue wait p50/p99 (ms) [prio {priority}]",
                  f"{summary.p50:.2f} / {summary.p99:.2f}"),
             )
+        if self.cascade is not None:
+            residual = (
+                self.batched_requests / self.answered
+                if self.answered
+                else 0.0
+            )
+            rows.extend([
+                ("cascade micro-rule hits", self.cascade.micro_hits),
+                ("cascade filterlist hits", self.cascade.list_hits),
+                ("cascade audits (model verify)", self.cascade.audits),
+                ("cascade rules compiled", self.cascade.compiled),
+                ("cascade rules invalidated", self.cascade.invalidations),
+                ("residual CNN fraction", f"{residual:.3f}"),
+            ])
         table = format_table(("metric", "value"), rows)
         return f"{title}\n{table}"

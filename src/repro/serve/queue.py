@@ -34,11 +34,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import ServeSettings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cascade.provenance import FrameProvenance
+    from repro.cascade.router import CascadeAudit
 
 #: the frame is inside the viewport: the user is looking at the slot,
 #: so its verdict gates what they see right now
@@ -64,6 +68,13 @@ class ServeRequest:
     #: was queued; they ride along and share the computed verdict
     #: without consuming queue depth or a batch slot
     coalesced: List["ServeRequest"] = field(default_factory=list)
+    #: renderer-side frame context (URL, DOM path, slot shape) the
+    #: cascade's structural tiers route on; None = unknown provenance,
+    #: the request takes the memo/queue path unconditionally
+    provenance: Optional["FrameProvenance"] = None
+    #: open audit ticket: a cascade rule predicted this frame and the
+    #: model verdict must be reconciled against the rule's health
+    audit: Optional["CascadeAudit"] = None
 
 
 class BatchQueue:

@@ -22,6 +22,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.cascade.provenance import FrameProvenance
+from repro.cascade.router import CascadeHit, CascadeRouter
 from repro.core.blocker import BlockDecision, PercivalBlocker
 from repro.core.config import ServeSettings, configured_serve_settings
 from repro.serve.loop import ArrivalEvent, BatchComputeModel
@@ -51,6 +53,14 @@ class TrafficSpec:
     #: below the fold — pages paint top-down, so the user-visible slots
     #: are the ones decoded first
     viewport_frames: int = 4
+    #: attach :class:`~repro.cascade.FrameProvenance` to every event
+    #: (URL + DOM path + slot shape), synthesized from a *separate*
+    #: derived RNG stream — the bitmap/arrival trace is bit-identical
+    #: with provenance on or off
+    provenance: bool = False
+    #: distinct page sites sessions cycle through (micro-rules are
+    #: per-site, so fewer sites = more cross-session rule sharing)
+    sites: int = 4
     seed: int = 0
 
 
@@ -69,6 +79,9 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
 
     spec = spec or TrafficSpec()
     rng = spawn_rng(spec.seed, "serve-traffic")
+    # provenance draws come from their own derived stream so attaching
+    # (or dropping) provenance never perturbs the bitmap/arrival trace
+    prov = _ProvenanceSynth(spec) if spec.provenance else None
     shared: List[np.ndarray] = []
     for index in range(spec.shared_creatives):
         if index % 2 == 0:
@@ -79,30 +92,125 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
     events: List[ArrivalEvent] = []
     for session_index in range(spec.sessions):
         session_id = f"session-{session_index:03d}"
+        site = f"site{session_index % max(spec.sites, 1)}.example"
         at_ms = session_index * spec.session_stagger_ms
         for frame_index in range(spec.frames_per_session):
             at_ms += rng.uniform(0.0, 2.0 * spec.mean_gap_ms)
+            shared_index = -1
             if shared and rng.uniform() < spec.duplicate_fraction:
-                bitmap = shared[int(rng.integers(len(shared)))]
+                shared_index = int(rng.integers(len(shared)))
+                bitmap = shared[shared_index]
+                is_ad_frame = shared_index % 2 == 0
             elif rng.uniform() < spec.ad_fraction:
                 bitmap = generate_ad(rng, AdSpec())
+                is_ad_frame = True
             else:
                 bitmap = generate_content(rng)
+                is_ad_frame = False
             priority = (
                 PRIORITY_VIEWPORT
                 if frame_index < spec.viewport_frames
                 else PRIORITY_BELOW_FOLD
             )
+            provenance = None
+            if prov is not None:
+                provenance = prov.for_frame(
+                    site, bitmap, is_ad_frame, shared_index
+                )
             events.append(
                 ArrivalEvent(
                     at_ms=at_ms,
                     session_id=session_id,
                     bitmap=bitmap,
                     priority=priority,
+                    provenance=provenance,
                 )
             )
     events.sort(key=lambda event: event.at_ms)
     return events
+
+
+class _ProvenanceSynth:
+    """Synthesizes per-frame provenance off a dedicated RNG stream.
+
+    Ad frames resolve to an ad-network URL (rotating creative serial
+    under a stable host + path prefix — the shape real networks serve
+    at) and a conventional ad container class; content frames resolve
+    to the site's own CDN.  Shared creatives keep one stable URL/class
+    per pool slot, so every syndicated appearance looks like the same
+    resource — only the embedding page changes.
+    """
+
+    def __init__(self, spec: TrafficSpec) -> None:
+        from repro.synth.webgen import (
+            AD_NETWORKS,
+            CONTENT_CLASSES,
+            KNOWN_AD_CLASSES,
+        )
+
+        self._rng = spawn_rng(spec.seed, "serve-traffic-prov")
+        self._networks = AD_NETWORKS
+        self._ad_classes = KNOWN_AD_CLASSES
+        self._content_classes = CONTENT_CLASSES
+        self._serial = 0
+        #: pool slot -> (url, css class) for shared creatives
+        self._shared: dict = {}
+
+    def _ad_resource(self, serial: int) -> Tuple[str, str]:
+        network = self._networks[
+            int(self._rng.integers(len(self._networks)))
+        ]
+        url = (
+            f"https://{network.domain}{network.path_prefix}"
+            f"/c{serial:05d}.png"
+        )
+        css = self._ad_classes[
+            int(self._rng.integers(len(self._ad_classes)))
+        ]
+        return url, css
+
+    def _content_resource(self, site: str, serial: int) -> Tuple[str, str]:
+        url = f"https://cdn.{site}/img/{serial:05d}.jpg"
+        css = self._content_classes[
+            int(self._rng.integers(len(self._content_classes)))
+        ]
+        return url, css
+
+    def for_frame(
+        self,
+        site: str,
+        bitmap: np.ndarray,
+        is_ad_frame: bool,
+        shared_index: int,
+    ) -> FrameProvenance:
+        if shared_index >= 0:
+            cached = self._shared.get(shared_index)
+            if cached is None:
+                self._serial += 1
+                cached = (
+                    self._ad_resource(self._serial)
+                    if is_ad_frame
+                    else self._content_resource("syndicated.example",
+                                                self._serial)
+                )
+                self._shared[shared_index] = cached
+            url, css = cached
+        else:
+            self._serial += 1
+            url, css = (
+                self._ad_resource(self._serial)
+                if is_ad_frame
+                else self._content_resource(site, self._serial)
+            )
+        height, width = int(bitmap.shape[0]), int(bitmap.shape[1])
+        return FrameProvenance(
+            url=url,
+            page_domain=site,
+            tag="img",
+            css_classes=(css,),
+            width=width,
+            height=height,
+        )
 
 
 class RenderServeBridge:
@@ -123,21 +231,65 @@ class RenderServeBridge:
         self,
         blocker: PercivalBlocker,
         settings: Optional[ServeSettings] = None,
+        cascade: "CascadeRouter | None | bool" = None,
     ) -> None:
+        # leaf import: resolve_cascade reads the PERCIVAL_CASCADE knob
+        from repro.cascade.router import resolve_cascade
+
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.compute_model = BatchComputeModel.from_blocker(blocker)
-        #: (priority, enqueue seq, key, bitmap) — drained most-urgent
-        #: first, FIFO within a priority class
-        self._pending: List[Tuple[int, int, str, np.ndarray]] = []
+        self.cascade = resolve_cascade(cascade, blocker.classifier.config)
+        #: (priority, enqueue seq, key, bitmap, audit, provenance) —
+        #: drained most-urgent first, FIFO within a priority class
+        self._pending: List[tuple] = []
+        #: audit tickets opened by :meth:`route` for keys that memo-
+        #: missed, waiting to ride the next :meth:`enqueue` of that key
+        self._open_tickets: dict = {}
         self.frames_enqueued = 0
         self.batches_flushed = 0
+        #: frames answered by the cascade rule tiers via :meth:`route`
+        self.rule_hits = 0
 
     def lookup(
         self, bitmap: np.ndarray, key: Optional[str] = None
     ) -> Optional[BlockDecision]:
         """Shared-memo lookup; ``None`` means the frame needs compute."""
         return self.blocker.memoized_decision(bitmap, key=key)
+
+    def route(
+        self,
+        bitmap: np.ndarray,
+        key: Optional[str] = None,
+        provenance: Optional[FrameProvenance] = None,
+    ) -> Optional[BlockDecision]:
+        """Cascade rule tier + shared memo, in serve-tier order.
+
+        A rule hit answers without touching the memo; a memo hit
+        reconciles (or absorbs into) the cascade; ``None`` means the
+        frame needs compute — any open audit ticket waits for the key's
+        next :meth:`enqueue` and settles at drain time.
+        """
+        if key is None:
+            key = self.blocker.fingerprint(bitmap)
+        audit = None
+        if self.cascade is not None:
+            routed = self.cascade.route(provenance)
+            if isinstance(routed, CascadeHit):
+                self.rule_hits += 1
+                return routed.decision
+            audit = routed
+        cached = self.blocker.memoized_decision(bitmap, key=key)
+        if cached is not None:
+            if self.cascade is not None:
+                if audit is not None:
+                    self.cascade.reconcile(audit, cached.is_ad)
+                else:
+                    self.cascade.absorb(provenance, cached)
+            return cached
+        if audit is not None:
+            self._open_tickets.setdefault(key, []).append(audit)
+        return None
 
     def fingerprint(self, bitmap: np.ndarray) -> str:
         return self.blocker.fingerprint(bitmap)
@@ -147,6 +299,7 @@ class RenderServeBridge:
         bitmap: np.ndarray,
         key: str,
         priority: int = PRIORITY_VIEWPORT,
+        provenance: Optional[FrameProvenance] = None,
     ) -> None:
         """Queue a memo-missed frame for the next drain.
 
@@ -155,7 +308,15 @@ class RenderServeBridge:
         is inside the viewport and :data:`PRIORITY_BELOW_FOLD`
         otherwise, so the drain classifies what the user can see first.
         """
-        self._pending.append((priority, self.frames_enqueued, key, bitmap))
+        audit = None
+        tickets = self._open_tickets.get(key)
+        if tickets:
+            audit = tickets.pop(0)
+            if not tickets:
+                del self._open_tickets[key]
+        self._pending.append(
+            (priority, self.frames_enqueued, key, bitmap, audit, provenance)
+        )
         self.frames_enqueued += 1
 
     @property
@@ -183,12 +344,17 @@ class RenderServeBridge:
         pending.sort(key=lambda entry: (entry[0], entry[1]))
         for start in range(0, len(pending), max_batch):
             chunk = pending[start:start + max_batch]
-            keys = [key for _, _, key, _ in chunk]
-            bitmaps = [bitmap for _, _, _, bitmap in chunk]
+            keys = [entry[2] for entry in chunk]
+            bitmaps = [entry[3] for entry in chunk]
             decisions = self.blocker.decide_many(bitmaps, keys=keys)
             per_frame_ms = float(self.compute_model(len(chunk))) / len(chunk)
-            drained.extend(
-                (decision, per_frame_ms) for decision in decisions
-            )
+            for entry, decision in zip(chunk, decisions):
+                drained.append((decision, per_frame_ms))
+                if self.cascade is not None:
+                    _, _, _, _, audit, provenance = entry
+                    if audit is not None:
+                        self.cascade.reconcile(audit, decision.is_ad)
+                    else:
+                        self.cascade.absorb(provenance, decision)
             self.batches_flushed += 1
         return drained

@@ -148,7 +148,7 @@ class Page:
             else:
                 parts.append(
                     f'<div class="{classes}" id="{element.element_id}">'
-                    f'<p>lorem synthetica</p></div>'
+                    f"<p>lorem synthetica</p></div>"
                 )
         parts.append("</body></html>")
         return "".join(parts)

@@ -1,0 +1,129 @@
+"""Property-based tests of the rule healer's drift-detection ledger.
+
+The satellite claim, stated as an invariant: for *any* sequence of
+rule-vs-model comparisons, a rule that disagreed with the model at
+least ``invalidate_after`` times is invalidated — permanently — and
+its frames route back to the CNN; a rule that never accumulated that
+many disagreements is still alive.  Agreements never buy back strikes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cascade import CascadeRouter, FrameProvenance
+from repro.cascade.healer import RuleHealer
+from repro.cascade.rules import (
+    ORIGIN_LIST,
+    CascadeRule,
+    CompiledRuleCache,
+)
+
+observations = st.lists(st.booleans(), min_size=0, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(agreed_seq=observations, invalidate_after=st.integers(1, 5))
+def test_invalidated_iff_strikes_reach_threshold(
+    agreed_seq, invalidate_after
+):
+    cache = CompiledRuleCache()
+    healer = RuleHealer(cache, invalidate_after=invalidate_after)
+    rule = CascadeRule(key="k", verdict=True, probability=0.99)
+    cache._rules["k"] = rule
+
+    for agreed in agreed_seq:
+        healer.observe(rule, agreed)
+
+    disagreements = agreed_seq.count(False)
+    if disagreements >= invalidate_after:
+        assert rule.invalidated
+        assert not rule.serving
+        assert cache.quarantined_count == 1
+        # the ledger froze at the fatal strike: observations after
+        # invalidation must not keep counting
+        assert rule.disagreements == invalidate_after
+    else:
+        assert not rule.invalidated
+        assert rule.disagreements == disagreements
+        assert rule.agreements == agreed_seq.count(True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(agreed_seq=observations, corroboration=st.integers(1, 5))
+def test_list_rule_serves_only_after_clean_corroboration(
+    agreed_seq, corroboration
+):
+    cache = CompiledRuleCache()
+    healer = RuleHealer(
+        cache, corroboration=corroboration, invalidate_after=10_000
+    )
+    rule = cache.ensure_list_rule("list|k", True, 1.0)
+    assert rule.origin == ORIGIN_LIST and not rule.serving
+
+    promoted_at = None
+    for index, agreed in enumerate(agreed_seq):
+        healer.observe(rule, agreed)
+        if rule.serving and promoted_at is None:
+            promoted_at = index
+
+    if promoted_at is None:
+        # never promoted: either not enough agreements before the
+        # first disagreement, or a disagreement poisoned the warmup
+        prefix_ok = False
+        seen_agree = 0
+        for agreed in agreed_seq:
+            if not agreed:
+                break
+            seen_agree += 1
+            if seen_agree >= corroboration:
+                prefix_ok = True
+                break
+        assert not prefix_ok
+    else:
+        # promotion required `corroboration` agreements with a clean
+        # record at that moment
+        prefix = agreed_seq[: promoted_at + 1]
+        assert prefix.count(False) == 0
+        assert prefix.count(True) >= corroboration
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    agreed_seq=st.lists(st.booleans(), min_size=2, max_size=30),
+    invalidate_after=st.integers(1, 3),
+)
+def test_invalidated_rules_frames_reroute_to_cnn(
+    agreed_seq, invalidate_after
+):
+    """End-to-end over the router: once the model disagrees often
+    enough, the rule stops answering and the frame goes to the CNN
+    (route() returns None), forever."""
+    router = CascadeRouter(
+        None, audit_interval=1, invalidate_after=invalidate_after
+    )
+    prov = FrameProvenance(
+        url="https://ads.example/slot/x.png", page_domain="pub.example"
+    )
+    from repro.core.blocker import BlockDecision
+
+    router.absorb(
+        prov,
+        BlockDecision(is_ad=True, probability=0.99, from_cache=False),
+    )
+
+    invalidated = False
+    for agreed in agreed_seq:
+        outcome = router.route(prov)
+        if invalidated:
+            assert outcome is None  # permanently back on the CNN path
+            continue
+        # audit_interval=1: every hit of the serving rule is audited
+        router.reconcile(outcome, model_is_ad=agreed)
+        rule = router.cache.get(prov.micro_key())
+        invalidated = rule.invalidated
+
+    rule = router.cache.get(prov.micro_key())
+    assert invalidated == (
+        agreed_seq[: rule.audits].count(False) >= invalidate_after
+        if rule.audits
+        else False
+    )

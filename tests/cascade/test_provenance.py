@@ -1,0 +1,70 @@
+"""FrameProvenance feature extraction: source, size class, micro key."""
+
+import pytest
+
+from repro.cascade import FrameProvenance
+
+
+def _prov(**kwargs):
+    defaults = dict(
+        url="https://static.adnet.example/serve/banner01.png",
+        page_domain="news.example",
+    )
+    defaults.update(kwargs)
+    return FrameProvenance(**defaults)
+
+
+def test_source_is_host_plus_first_path_segment():
+    prov = _prov(url="https://static.adnet.example/serve/banner01.png")
+    assert prov.source == "static.adnet.example/serve"
+
+
+def test_source_without_path_is_just_host():
+    assert _prov(url="https://cdn.example").source == "cdn.example"
+    assert _prov(url="https://cdn.example/").source == "cdn.example"
+
+
+def test_source_ignores_deeper_path_and_query():
+    first = _prov(url="https://ads.example/slot/a/b/c.png?cb=1")
+    second = _prov(url="https://ads.example/slot/zzz.png")
+    assert first.source == second.source == "ads.example/slot"
+
+
+@pytest.mark.parametrize(
+    "width,height,expected",
+    [
+        (0, 0, "unsized"),
+        (0, 250, "unsized"),
+        (728, 90, "banner"),       # w >= 3h
+        (90, 600, "skyscraper"),   # h >= 3w
+        (100, 100, "tile"),        # both <= 120
+        (120, 120, "tile"),
+        (300, 250, "rectangle"),
+    ],
+)
+def test_size_class_buckets(width, height, expected):
+    assert _prov(width=width, height=height).size_class == expected
+
+
+def test_micro_key_composes_page_source_size():
+    prov = _prov(
+        url="https://ads.example/slot/x.png",
+        page_domain="blog.example",
+        width=728,
+        height=90,
+    )
+    assert prov.micro_key() == "blog.example|ads.example/slot|banner"
+
+
+def test_same_creative_on_two_pages_gets_distinct_keys():
+    one = _prov(page_domain="a.example")
+    two = _prov(page_domain="b.example")
+    assert one.micro_key() != two.micro_key()
+    assert one.source == two.source
+
+
+def test_provenance_is_frozen_and_hashable():
+    prov = _prov()
+    with pytest.raises(AttributeError):
+        prov.url = "https://other.example/x.png"
+    assert hash(prov) == hash(_prov())

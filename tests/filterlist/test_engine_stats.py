@@ -1,0 +1,61 @@
+"""EngineStats accounting and reset_stats semantics."""
+
+import pytest
+
+from repro.filterlist.engine import EngineStats, FilterEngine
+
+
+@pytest.fixture()
+def engine():
+    return FilterEngine.from_text("\n".join([
+        "||ads.example^$third-party",
+        "@@||ads.example^$domain=trusted.example",
+        "##.ad-box",
+    ]))
+
+
+def test_stats_start_at_zero(engine):
+    stats = engine.stats
+    assert (
+        stats.requests_checked,
+        stats.requests_blocked,
+        stats.elements_checked,
+        stats.elements_hidden,
+    ) == (0, 0, 0, 0)
+
+
+def test_request_checks_and_blocks_accumulate(engine):
+    engine.check_request("https://ads.example/x.png", "pub.example")
+    engine.check_request("https://cdn.example/cat.jpg", "pub.example")
+    # exception rule: checked but not blocked
+    engine.check_request("https://ads.example/x.png", "trusted.example")
+    assert engine.stats.requests_checked == 3
+    assert engine.stats.requests_blocked == 1
+
+
+def test_element_checks_and_hides_accumulate(engine):
+    engine.should_hide_element("div", ("ad-box",), "", "pub.example")
+    engine.should_hide_element("div", ("content",), "", "pub.example")
+    assert engine.stats.elements_checked == 2
+    assert engine.stats.elements_hidden == 1
+
+
+def test_reset_stats_zeroes_without_touching_rules(engine):
+    engine.check_request("https://ads.example/x.png", "pub.example")
+    engine.should_hide_element("div", ("ad-box",), "", "pub.example")
+    rules_before = (engine.num_network_rules, engine.num_hiding_rules)
+    engine.reset_stats()
+    assert engine.stats == EngineStats()
+    assert (engine.num_network_rules, engine.num_hiding_rules) == rules_before
+    # and the fresh ledger keeps counting
+    engine.check_request("https://ads.example/x.png", "pub.example")
+    assert engine.stats.requests_checked == 1
+    assert engine.stats.requests_blocked == 1
+
+
+def test_reset_replaces_the_stats_object(engine):
+    stale = engine.stats
+    engine.check_request("https://ads.example/x.png", "pub.example")
+    engine.reset_stats()
+    assert engine.stats is not stale
+    assert stale.requests_checked == 1  # old ledger left intact
