@@ -1,0 +1,187 @@
+"""Incremental re-classification via frame diffing (the PERCIVAL_DIFF
+layer) on the two interaction-heavy scenarios.
+
+The tentpole claim: with the per-session snapshot/diff layer in front
+of the serve pipeline, a feed scroll or a page revisit costs O(delta)
+classification work instead of O(page) — >= 3x fewer frames reach the
+fingerprint/memo/queue pipeline per interaction after the first visit,
+while **every** P(ad) and every final verdict stays bit-identical to
+the ``PERCIVAL_DIFF=off`` path (the diff tier only changes *where*
+answers come from, never what they are).
+
+Two scenarios:
+
+* **facebook feed scroll** — a session scrolls a synthetic feed
+  (``repro.synth.facebook``) in a sliding window: each interaction
+  re-rasters the whole window but only ``stride`` new items entered it,
+* **page revisits** — the ``TrafficSpec`` revisit generator replays
+  each session's page ``revisits`` times with creative churn: only the
+  churned slots carry new content.
+
+Marked ``bench_smoke``: the ratios are virtual-time/counter based, so
+one deterministic replay per side is exact on any machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascade import FrameProvenance
+from repro.core import AdClassifier, PercivalBlocker, PercivalConfig, ServeSettings
+from repro.diff import FrameDiffer
+from repro.eval.reporting import paper_vs_measured
+from repro.serve import ArrivalEvent, ServeLoop, TrafficSpec, synthesize_traffic
+from repro.synth.facebook import FacebookFeed, FeedConfig
+
+#: one serve lane, deep queue: nothing sheds, so both sides answer
+#: every request and the verdict sets compare one-for-one
+SETTINGS = ServeSettings(max_batch=16, max_wait_ms=4.0, max_depth=1024, lanes=1)
+
+#: feed scroll: a 12-item viewport sliding by 2 items per interaction —
+#: 10/12 of every post-first raster pass is unchanged content
+FEED_WINDOW = 12
+FEED_STRIDE = 2
+FEED_INTERACTIONS = 10
+
+#: revisits: each session's page replayed 3 more times with 15% of the
+#: slots rotating to a fresh creative per epoch
+REVISIT_SPEC = TrafficSpec(
+    sessions=8,
+    frames_per_session=10,
+    duplicate_fraction=0.2,
+    provenance=True,
+    sites=3,
+    revisits=3,
+    revisit_churn=0.15,
+    seed=77,
+)
+
+
+def _blocker():
+    return PercivalBlocker(
+        AdClassifier(PercivalConfig(calibrated_latency_ms=1.0)),
+        calibrated_latency_ms=1.0,
+    )
+
+
+def _feed_scroll_traffic():
+    """The feed scenario as an arrival trace: interaction ``i`` shows
+    items ``[i*stride, i*stride + window)``; every visible item arrives
+    as one frame with its slot URL and pre-decode content key."""
+    feed = FacebookFeed(FeedConfig(seed=5))
+    items = feed.session(day=0)
+    needed = FEED_WINDOW + FEED_STRIDE * (FEED_INTERACTIONS - 1)
+    assert len(items) >= needed
+    bitmaps = [items[i].render().astype(np.float32) for i in range(needed)]
+    events = []
+    for interaction in range(FEED_INTERACTIONS):
+        start = interaction * FEED_STRIDE
+        at_ms = interaction * 100.0
+        for slot, index in enumerate(range(start, start + FEED_WINDOW)):
+            bitmap = bitmaps[index]
+            events.append(ArrivalEvent(
+                at_ms=at_ms + slot * 0.25,
+                session_id="feed-session",
+                bitmap=bitmap,
+                provenance=FrameProvenance(
+                    url=f"https://feed.social.example/item/{index:03d}",
+                    page_domain="feed.social.example",
+                    width=bitmap.shape[1],
+                    height=bitmap.shape[0],
+                ),
+                content_key=f"feed-item-{index:03d}",
+            ))
+    return events
+
+
+def _run(traffic, differ):
+    # cascade pinned off: rule hits carry compiled probabilities, which
+    # would make the off/on comparison depend on rule compile timing
+    report = ServeLoop(
+        _blocker(), SETTINGS, cascade=False, differ=differ
+    ).run(traffic)
+    assert report.stats.conserved()
+    assert report.stats.shed == 0
+    assert report.stats.failed == 0
+    return report
+
+
+def _verdicts(report):
+    return {
+        r.request_id: (r.decision.is_ad, r.decision.probability)
+        for r in report.results
+    }
+
+
+def _classified_after_first(report, first_visit_end_ms):
+    """Frames that entered the fingerprint/memo/queue pipeline after
+    the first visit — everything the diff tier did not answer."""
+    return sum(
+        1
+        for r in report.results
+        if r.arrival_ms > first_visit_end_ms and not r.diff_hit
+    )
+
+
+@pytest.mark.bench_smoke
+def test_incremental_diff_classified_frames(report_table, bench_record):
+    # --- scenario 1: facebook feed scroll -----------------------------
+    feed_traffic = _feed_scroll_traffic()
+    feed_off = _run(feed_traffic, differ=False)
+    feed_on = _run(feed_traffic, differ=FrameDiffer())
+    assert _verdicts(feed_off) == _verdicts(feed_on)  # bit-identical
+    assert feed_off.stats.diff_hits == 0
+
+    feed_interactions = FEED_INTERACTIONS - 1  # after the first visit
+    feed_boundary = 50.0  # between interaction 0 and 1
+    feed_class_off = _classified_after_first(feed_off, feed_boundary)
+    feed_class_on = _classified_after_first(feed_on, feed_boundary)
+    assert feed_class_off == feed_interactions * FEED_WINDOW
+    feed_off_rate = feed_class_off / feed_interactions
+    feed_on_rate = feed_class_on / feed_interactions
+    feed_speedup = feed_class_off / max(feed_class_on, 1)
+
+    # --- scenario 2: page revisits with creative churn ----------------
+    revisit_traffic = synthesize_traffic(REVISIT_SPEC)
+    revisit_off = _run(revisit_traffic, differ=False)
+    differ = FrameDiffer()
+    revisit_on = _run(revisit_traffic, differ=differ)
+    assert _verdicts(revisit_off) == _verdicts(revisit_on)
+
+    base_events = len(revisit_traffic) // (1 + REVISIT_SPEC.revisits)
+    revisit_events = len(revisit_traffic) - base_events
+    epochs = REVISIT_SPEC.revisits
+    revisit_class_on = revisit_events - revisit_on.stats.diff_hits
+    revisit_off_rate = revisit_events / epochs
+    revisit_on_rate = revisit_class_on / epochs
+    revisit_speedup = revisit_events / max(revisit_class_on, 1)
+
+    rows = [
+        ("feed: frames/interaction, diff off", "-", feed_off_rate),
+        ("feed: frames/interaction, diff on", "-", feed_on_rate),
+        ("feed: classified-frames speedup (x)", ">= 3.0", feed_speedup),
+        ("revisit: frames/epoch, diff off", "-", revisit_off_rate),
+        ("revisit: frames/epoch, diff on", "-", revisit_on_rate),
+        ("revisit: classified-frames speedup (x)", ">= 3.0",
+         revisit_speedup),
+        ("snapshot recalls (diff hits)", "-",
+         feed_on.stats.diff_hits + revisit_on.stats.diff_hits),
+        ("verdict mismatches (on vs off)", "0", 0),
+    ]
+    report_table(paper_vs_measured(
+        "Incremental re-classification (frames entering the pipeline)",
+        rows,
+    ))
+    bench_record(
+        "serving_incremental_diff",
+        feed_frames_per_interaction_off=feed_off_rate,
+        feed_frames_per_interaction_on=feed_on_rate,
+        feed_classified_speedup=feed_speedup,
+        revisit_frames_per_epoch_off=revisit_off_rate,
+        revisit_frames_per_epoch_on=revisit_on_rate,
+        revisit_classified_speedup=revisit_speedup,
+        feed_diff_hits=feed_on.stats.diff_hits,
+        revisit_diff_hits=revisit_on.stats.diff_hits,
+        sheds=feed_on.stats.shed + revisit_on.stats.shed,
+    )
+    assert feed_speedup >= 3.0
+    assert revisit_speedup >= 3.0

@@ -55,6 +55,26 @@ def _resolved_cascade(args: argparse.Namespace, config):
     )
 
 
+def _resolved_differ(args: argparse.Namespace, config):
+    """``--diff`` flag -> ServeLoop-style ``differ=`` argument: a
+    differ when on, ``False`` when off, ``None`` (environment knob)
+    when the flag was not given."""
+    from repro.core.config import (
+        configured_diff_capacity,
+        configured_diff_enabled,
+    )
+    from repro.diff import FrameDiffer
+
+    flag = getattr(args, "diff", None)
+    if flag is None:
+        enabled = configured_diff_enabled(config.diff_enabled)
+    else:
+        enabled = flag == "on"
+    if not enabled:
+        return False
+    return FrameDiffer(capacity=configured_diff_capacity())
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.cascade import CascadeHit, FrameProvenance
     from repro.core import PercivalBlocker, get_reference_classifier
@@ -163,6 +183,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
     classifier = get_reference_classifier(_resolved_config(args))
     cascade = _resolved_cascade(args, classifier.config)
+    differ = _resolved_differ(args, classifier.config)
     pool = get_worker_pool(classifier, num_workers=args.workers)
     settings = ServeSettings(
         max_batch=args.max_batch,
@@ -205,9 +226,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             sessions=args.sessions,
             frames_per_session=args.frames,
             seed=args.seed,
-            provenance=cascade is not False,
+            provenance=cascade is not False or differ is not False,
+            revisits=args.revisits,
         ))
-        report = ServeLoop(blocker, settings, cascade=cascade).run(events)
+        report = ServeLoop(
+            blocker, settings, cascade=cascade, differ=differ
+        ).run(events)
     finally:
         shutdown_worker_pool()
     print(report.stats.to_table(
@@ -309,6 +333,12 @@ def main(argv: list | None = None) -> int:
              "PERCIVAL_CASCADE; default off)",
     )
 
+    diff_kwargs = dict(
+        choices=("on", "off"), default=None,
+        help="incremental re-classification via session snapshots "
+             "(same knob as PERCIVAL_DIFF; default off)",
+    )
+
     classify = sub.add_parser("classify", help="classify sample images")
     classify.add_argument("--count", type=int, default=8)
     classify.add_argument("--seed", type=int, default=0)
@@ -373,8 +403,15 @@ def main(argv: list | None = None) -> int:
         "--p99-target-ms", type=float, default=40.0,
         help="fleet mode: total-latency SLO the autoscaler defends",
     )
+    serve_sim.add_argument(
+        "--revisits", type=int, default=0,
+        help="revisit epochs appended to the trace: each session "
+             "re-emits its page with a small churned delta — the "
+             "workload the --diff tier answers in O(delta)",
+    )
     serve_sim.add_argument("--precision", **precision_kwargs)
     serve_sim.add_argument("--cascade", **cascade_kwargs)
+    serve_sim.add_argument("--diff", **diff_kwargs)
 
     crawl = sub.add_parser("crawl", help="run the crawl/retrain loop")
     crawl.add_argument("--phases", type=int, default=3)

@@ -14,7 +14,7 @@ single calibrated constant (from the measured model latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 
 from repro.browser.display_list import DisplayItem, DisplayItemKind
@@ -46,6 +46,9 @@ class RasterResult:
     images_blocked: int
     decode_cost_ms: float
     classify_cost_ms: float
+    #: first-touched images whose verdict was already settled by the
+    #: diff layer: no hook ran and no classification cost was charged
+    images_settled: int = 0
 
 
 def rasterize(
@@ -56,6 +59,7 @@ def rasterize(
     percival_hook: Optional[PercivalHook] = None,
     classify_cost_ms: Callable[[str], float] = lambda url: 0.0,
     on_image_first_touch: Optional[Callable[[DisplayItem], None]] = None,
+    settled_urls: Optional[Set[str]] = None,
 ) -> RasterResult:
     """Raster the display list over worker lanes.
 
@@ -70,13 +74,21 @@ def rasterize(
     renderer learns each frame's on-page provenance (viewport or
     below-the-fold) at exactly the moment the classification request is
     born.
+
+    ``settled_urls`` marks images whose verdict the diff layer already
+    settled from a prior visit's snapshot: their first touch never runs
+    ``percival_hook`` and charges no classification cost.  An allowed
+    settled image still decodes (the pixels must paint); a blocked one
+    was settled as a cleared buffer and skips the decode entirely.
     """
     config = config or RasterConfig()
     lanes = WorkerLanes(config.num_workers)
     page_height = max(page_height, config.tile_height)
+    settled = settled_urls or set()
 
     decoded_urls: set = set()
     blocked = 0
+    settled_touched = 0
     decode_total = 0.0
     classify_total = 0.0
     tiles = 0
@@ -98,6 +110,25 @@ def rasterize(
                     continue
                 # first touch: decode (+ classify) on this raster task
                 decoded_urls.add(item.url)
+                if item.url in settled:
+                    # verdict inherited from the page's snapshot: no
+                    # hook, no classification cost.  Allowed frames
+                    # still pay their decode; blocked frames settled
+                    # as cleared buffers and skip it.
+                    settled_touched += 1
+                    if not bitmap.is_decoded:
+                        encoded = bitmap.sk_image.encoded
+                        decode_ms = (
+                            encoded.pixel_count / 1000.0
+                            * config.decode_cost_per_kilopixel_ms
+                            * encoded.format.decode_cost_factor
+                        )
+                        decode_total += decode_ms
+                        cost += decode_ms
+                        bitmap.ensure_decoded(None)
+                    if bitmap.blocked:
+                        blocked += 1
+                    continue
                 if on_image_first_touch is not None:
                     on_image_first_touch(item)
                 encoded = bitmap.sk_image.encoded
@@ -126,4 +157,5 @@ def rasterize(
         images_blocked=blocked,
         decode_cost_ms=decode_total,
         classify_cost_ms=classify_total,
+        images_settled=settled_touched,
     )

@@ -32,7 +32,11 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.browser.display_list import DisplayItem, build_display_list
+from repro.browser.display_list import (
+    DisplayItem,
+    DisplayItemKind,
+    build_display_list,
+)
 from repro.browser.html import parse_html
 from repro.browser.layout import VIEWPORT_HEIGHT, build_layout_tree
 from repro.browser.network import MockNetwork
@@ -44,6 +48,7 @@ from repro.utils.clock import WorkerLanes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.revisit import RevisitMemory
+    from repro.diff.differ import FrameDiffer
 
 
 class BlockerProtocol(Protocol):
@@ -192,6 +197,13 @@ class RenderMetrics:
     #: frames answered by the serve bridge's cascade rule tiers
     #: (structural verdict from provenance; no memo probe, no batch)
     rule_hits: int = 0
+    #: frames that settled from the page's snapshot (diff layer):
+    #: unchanged since the last visit, so the stored verdict applied
+    #: before any decode or classification
+    diff_inherited: int = 0
+    #: frames the diff layer routed down the classification pipeline
+    #: (changed/added regions, or no usable snapshot)
+    diff_reclassified: int = 0
 
     @property
     def render_time_ms(self) -> float:
@@ -221,6 +233,8 @@ class Renderer:
         mode: str = "sync",
         revisit_memory: Optional["RevisitMemory"] = None,
         serve_bridge: Optional["ServeBridgeProtocol"] = None,
+        differ: Optional["FrameDiffer"] = None,
+        session_id: str = "",
     ) -> RenderMetrics:
         """Render one page; returns its metrics.
 
@@ -235,6 +249,14 @@ class Renderer:
         (:class:`repro.serve.RenderServeBridge`): frames enqueue during
         raster and classify in batched chunks at drain time, so many
         page sessions share one blocker's batches and memo.
+
+        ``differ`` (or, when omitted, the serve bridge's own differ)
+        turns revisits incremental: before any decode, the page's image
+        regions are diffed against the session's stored snapshot and
+        unchanged regions settle from their stored verdict — only the
+        delta reaches the classification pipeline.  ``session_id``
+        scopes the snapshot (one browsing session's layout never leaks
+        into another's diff).
         """
         if mode not in ("sync", "async"):
             raise ValueError(f"unknown blocking mode {mode!r}")
@@ -328,6 +350,70 @@ class Renderer:
         cost_fn = lambda url: 0.0  # noqa: E731 - tiny closure
         async_lanes: Optional[WorkerLanes] = None
 
+        # -- incremental re-classification (diff layer) ----------------------
+        # Before anything decodes: diff this visit's image regions
+        # against the session's stored snapshot.  Unchanged regions
+        # settle from their stored verdict (blocked ones never decode);
+        # only the delta reaches the classification pipeline below.
+        active_differ = differ
+        if active_differ is None and serve_bridge is not None:
+            active_differ = getattr(serve_bridge, "differ", None)
+        if percival is None:
+            active_differ = None
+        region_views: List = []
+        inherited_by_url: Dict[str, object] = {}
+        settled_urls: set = set()
+        if active_differ is not None:
+            from repro.diff.snapshot import (
+                RegionView,
+                content_key_for_payload,
+            )
+
+            diff_nodes = {
+                node.src: node for node in document.resource_elements()
+            }
+            seen_regions: set = set()
+            for item in display_list:
+                if item.kind is not DisplayItemKind.IMAGE:
+                    continue
+                if item.url in seen_regions or item.url not in images:
+                    continue
+                seen_regions.add(item.url)
+                node = diff_nodes.get(item.url)
+                style_key = "|".join((
+                    getattr(node, "tag", "img") or "img",
+                    ",".join(getattr(node, "css_classes", ()) or ()),
+                    getattr(node, "element_id", "") or "",
+                ))
+                encoded = images[item.url].sk_image.encoded
+                region_views.append(RegionView(
+                    url=item.url,
+                    content_key=content_key_for_payload(
+                        encoded.payload, encoded.format.name
+                    ),
+                    x=int(item.x),
+                    y=int(item.y),
+                    width=int(item.width),
+                    height=int(item.height),
+                    style_key=style_key,
+                ))
+            plan = active_differ.plan(
+                session_id or "local",
+                page.url,
+                region_views,
+                revisit_memory=revisit_memory,
+            )
+            for view, record in plan.inherit:
+                images[view.url].settle_verdict(bool(record.is_ad))
+                settled_urls.add(view.url)
+                inherited_by_url[view.url] = record
+            metrics.diff_inherited = len(plan.inherit)
+            metrics.diff_reclassified = len(plan.reclassify)
+
+        #: model decisions captured at classification time, by URL —
+        #: what the post-raster snapshot commit records
+        decision_by_url: Dict[str, object] = {}
+
         if percival is not None and mode == "sync":
             # Image-decode drain: when the blocker supports batched
             # verdicts, decode every fetched frame up front and classify
@@ -340,15 +426,16 @@ class Renderer:
             decide_many = getattr(percival, "decide_many", None)
             if decide_many is not None:
                 fresh = [
-                    image for image in images.values()
-                    if not image.is_decoded
+                    (url, image) for url, image in images.items()
+                    if not image.is_decoded and url not in settled_urls
                 ]
                 if fresh:
                     decisions = decide_many(
-                        [image.decode_only() for image in fresh]
+                        [image.decode_only() for _, image in fresh]
                     )
-                    for image, decision in zip(fresh, decisions):
+                    for (url, image), decision in zip(fresh, decisions):
                         image.apply_verdict(bool(decision.is_ad))
+                        decision_by_url[url] = decision
 
             def hook(bitmap: np.ndarray, info: SkImageInfo) -> bool:
                 # Fallback for frames the drain did not cover (and the
@@ -503,6 +590,7 @@ class Renderer:
             percival_hook=hook,
             classify_cost_ms=cost_fn,
             on_image_first_touch=first_touch,
+            settled_urls=settled_urls or None,
         )
         metrics.raster_ms = raster.makespan_ms
         metrics.classify_cost_ms = raster.classify_cost_ms
@@ -519,6 +607,48 @@ class Renderer:
                     metrics.flashed_ads += 1
         if async_lanes is not None:
             metrics.async_classify_ms = async_lanes.makespan_ms
+        if active_differ is not None and region_views:
+            # commit this visit's snapshot: refreshed geometry for
+            # inherited regions, the captured/memoized model decision
+            # for classified ones, a verdict-less (non-inheritable)
+            # record otherwise.  Only model-computed decisions are
+            # recorded, so an inherited verdict is always bit-identical
+            # to what the memo path would have returned.
+            from repro.diff.snapshot import RegionRecord
+
+            memo_probe = getattr(percival, "memoized_decision", None)
+            if memo_probe is None and serve_bridge is not None:
+                memo_probe = getattr(serve_bridge, "lookup", None)
+            records = []
+            for view in region_views:
+                inherited = inherited_by_url.get(view.url)
+                if inherited is not None:
+                    records.append(RegionRecord.from_view(
+                        view, inherited.is_ad, inherited.probability
+                    ))
+                    continue
+                decision = decision_by_url.get(view.url)
+                image = images.get(view.url)
+                if (
+                    decision is None
+                    and memo_probe is not None
+                    and image is not None
+                    and image.is_decoded
+                    and not image.blocked
+                ):
+                    # async deployments classify at drain time; the
+                    # memo now holds the frame's full decision (rule
+                    # hits never land in the memo, so they are never
+                    # recorded — snapshots carry model verdicts only)
+                    decision = memo_probe(image.decode_only())
+                probability = getattr(decision, "probability", None)
+                if decision is not None and probability is not None:
+                    records.append(RegionRecord.from_view(
+                        view, bool(decision.is_ad), float(probability)
+                    ))
+                else:
+                    records.append(RegionRecord.from_view(view))
+            active_differ.commit(session_id or "local", page.url, records)
         if revisit_memory is not None:
             for url, bitmap_image in images.items():
                 if bitmap_image.blocked:

@@ -137,6 +137,26 @@ class BitmapImage:
         """Phase one: decode without running any classification hook."""
         return self.ensure_decoded(None)
 
+    def settle_verdict(self, blocked: bool) -> None:
+        """Settle an inherited verdict *without* decoding.
+
+        The diff layer proved this frame's encoded bytes are the ones a
+        prior visit already classified, so the stored verdict applies
+        sight unseen: a blocked frame materializes as a cleared buffer
+        (nothing downstream ever decodes the creative), an allowed
+        frame keeps deferred decoding for whenever raster needs the
+        pixels — in both cases no classification hook will run.
+        """
+        if self._decoded is not None:
+            self.apply_verdict(blocked)
+            return
+        if blocked:
+            info = self.sk_image.info
+            self._decoded = np.zeros(
+                (info.height, info.width, info.channels), dtype=np.float32
+            )
+            self.blocked = True
+
     def apply_verdict(self, blocked: bool) -> None:
         """Phase two: apply a (batched) PERCIVAL verdict to the frame.
 

@@ -75,8 +75,13 @@ class CascadeStats:
     misses: int = 0
     #: micro-rules compiled from confident model verdicts
     compiled: int = 0
-    #: rules invalidated by the healer (drift detected)
-    invalidations: int = 0
+    #: rules invalidated while reconciling an explicit audit ticket —
+    #: the sampled verification cadence caught the drift
+    audit_invalidations: int = 0
+    #: rules invalidated by a shadow comparison in :meth:`absorb` — a
+    #: model verdict computed for other reasons disagreed with the
+    #: serving rule between audits
+    shadow_invalidations: int = 0
     #: confident model verdicts folded back into the cache
     absorbed: int = 0
     #: model verdicts too uncertain to compile
@@ -85,6 +90,11 @@ class CascadeStats:
     @property
     def rule_hits(self) -> int:
         return self.micro_hits + self.list_hits
+
+    @property
+    def invalidations(self) -> int:
+        """Total rules invalidated by the healer, either source."""
+        return self.audit_invalidations + self.shadow_invalidations
 
 
 class CascadeRouter:
@@ -172,7 +182,9 @@ class CascadeRouter:
             return
         before = self.cache.invalidated_count
         self.healer.observe(rule, bool(model_is_ad) == audit.predicted)
-        self.stats.invalidations += self.cache.invalidated_count - before
+        self.stats.audit_invalidations += (
+            self.cache.invalidated_count - before
+        )
 
     def absorb(
         self,
@@ -187,14 +199,18 @@ class CascadeRouter:
         """
         if provenance is None or decision is None:
             return
-        key = provenance.micro_key()
+        # validate the source before deriving a key from it: a
+        # sourceless provenance must never reach micro_key()
         if not provenance.source:
             return
+        key = provenance.micro_key()
         existing = self.cache.get(key)
         if existing is not None:
             before = self.cache.invalidated_count
             self.healer.observe(existing, existing.verdict == decision.is_ad)
-            self.stats.invalidations += self.cache.invalidated_count - before
+            self.stats.shadow_invalidations += (
+                self.cache.invalidated_count - before
+            )
             return
         confidence = max(decision.probability, 1.0 - decision.probability)
         if confidence < self.confidence:

@@ -55,6 +55,12 @@ class PercivalConfig:
     #: minimum model confidence ``max(P(ad), 1 - P(ad))`` a verdict
     #: needs before the cascade compiles it into a micro-rule.
     cascade_confidence: float = 0.9
+    #: enable the :mod:`repro.diff` incremental re-classification layer
+    #: (per-session snapshot/diff with verdict inheritance); None defers
+    #: to the ``PERCIVAL_DIFF`` environment knob (see
+    #: :func:`configured_diff_enabled`).  Off reproduces the pre-diff
+    #: pipeline bit for bit.
+    diff_enabled: bool | None = None
 
     @classmethod
     def paper(cls) -> "PercivalConfig":
@@ -73,6 +79,7 @@ class PercivalConfig:
         payload.pop("quantization_drift_tolerance")
         payload.pop("cascade_enabled")
         payload.pop("cascade_confidence")
+        payload.pop("diff_enabled")
         return payload
 
 
@@ -229,6 +236,56 @@ def configured_cascade_enabled(explicit: bool | None = None) -> bool:
     raise ValueError(
         f"PERCIVAL_CASCADE must be 'on' or 'off', got {raw!r}"
     )
+
+
+def configured_diff_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the ``PERCIVAL_DIFF`` knob to on/off.
+
+    Resolution order: an ``explicit`` value (e.g.
+    ``PercivalConfig.diff_enabled``) wins; otherwise the
+    ``PERCIVAL_DIFF`` environment variable is consulted, where
+    unset/empty/``off``/``0``/``false``/``no`` means off — the
+    bit-identical pre-diff pipeline — and ``on``/``1``/``true``/``yes``
+    enables the snapshot/diff layer.  Anything else raises
+    ``ValueError``.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("PERCIVAL_DIFF", "").strip().lower()
+    if raw in ("", "off", "0", "false", "no"):
+        return False
+    if raw in ("on", "1", "true", "yes"):
+        return True
+    raise ValueError(
+        f"PERCIVAL_DIFF must be 'on' or 'off', got {raw!r}"
+    )
+
+
+def configured_diff_capacity(explicit: int | None = None) -> int:
+    """Resolve the ``PERCIVAL_DIFF_CAPACITY`` knob: how many
+    ``(session, page)`` snapshots the differ's LRU store keeps.
+
+    An ``explicit`` value wins; otherwise the environment variable
+    applies, and unset/empty means the default (512).  Values below 1
+    raise ``ValueError`` — a snapshot store that can hold nothing would
+    silently disable the diff layer.
+    """
+    if explicit is None:
+        raw = os.environ.get("PERCIVAL_DIFF_CAPACITY", "").strip()
+        if not raw:
+            return 512
+        try:
+            explicit = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"PERCIVAL_DIFF_CAPACITY must be an integer, got {raw!r}"
+            ) from exc
+    value = int(explicit)
+    if value < 1:
+        raise ValueError(
+            f"PERCIVAL_DIFF_CAPACITY must be >= 1, got {value}"
+        )
+    return value
 
 
 def configured_precision(explicit: str | None = None) -> str:

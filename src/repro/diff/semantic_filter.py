@@ -1,0 +1,87 @@
+"""The semantic filter: which changed regions actually need the CNN.
+
+A tree diff is structural; this module is the policy layer that turns
+it into work: every region of the current visit is partitioned into
+
+* **inherit** — the region's content is byte-identical to the snapshot
+  (unchanged / moved / restyled) *and* the snapshot holds a full
+  decision for it.  The stored verdict settles the region with
+  ``from_cache=True`` before any decode, fingerprint, or queue entry.
+  Inheritance is sound because the verdict is a pure function of the
+  pixels (§3.2): position and style do not feed the classifier, so a
+  moved or restyled region cannot flip.
+* **reclassify** — new content (added / changed), or identical content
+  whose snapshot never settled with a full decision.  These take the
+  normal pipeline and their fresh verdicts refresh the snapshot.
+
+Removed regions need no classification at all; when a read-only
+revisit-memory probe says a removed region was a known blocked ad, it
+is counted — that is the signal the §6 revisit collapse acts on one
+layer up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.diff.snapshot import PageSnapshot, RegionRecord, RegionView
+from repro.diff.tree_diff import TreeDiff
+
+
+@dataclass
+class DiffPlan:
+    """The filter's partition of one visit's regions."""
+
+    #: (current view, stored record) pairs settling from the snapshot
+    inherit: List[Tuple[RegionView, RegionRecord]] = field(
+        default_factory=list
+    )
+    #: regions that must take the full classification pipeline
+    reclassify: List[RegionView] = field(default_factory=list)
+    #: snapshot regions absent from this visit
+    removed: List[str] = field(default_factory=list)
+    #: removed regions the revisit memory already knows as blocked
+    removed_known_blocked: int = 0
+
+    @property
+    def inherited_urls(self) -> Set[str]:
+        return {view.url for view, _ in self.inherit}
+
+    @property
+    def total_regions(self) -> int:
+        return len(self.inherit) + len(self.reclassify)
+
+
+def semantic_filter(
+    diff: TreeDiff,
+    snapshot: Optional[PageSnapshot],
+    revisit_memory=None,
+) -> DiffPlan:
+    """Partition a :class:`TreeDiff` into inherit/reclassify work.
+
+    ``revisit_memory`` is probed with the read-only ``contains()`` only
+    — a speculative diff probe must never churn the memory's LRU order
+    or its collapse stats (that was the probe/commit bug this layer's
+    satellite fix split apart).
+    """
+    plan = DiffPlan()
+    plan.removed = list(diff.removed)
+    for view in diff.added:
+        plan.reclassify.append(view)
+    for view in diff.changed:
+        plan.reclassify.append(view)
+    for bucket in (diff.unchanged, diff.moved, diff.restyled):
+        for view in bucket:
+            record = snapshot.get(view.url) if snapshot is not None else None
+            if record is not None and record.inheritable:
+                plan.inherit.append((view, record))
+            else:
+                plan.reclassify.append(view)
+    if revisit_memory is not None:
+        contains = getattr(revisit_memory, "contains", None)
+        if contains is not None:
+            plan.removed_known_blocked = sum(
+                1 for url in plan.removed if contains(url)
+            )
+    return plan

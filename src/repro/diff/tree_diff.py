@@ -1,0 +1,131 @@
+"""Element-level diff of a page visit against its stored snapshot.
+
+``tree_diff`` classifies every region of the current visit against the
+snapshot the same way a DOM differ classifies elements:
+
+* **added** — the URL was not in the snapshot;
+* **removed** — a snapshot URL no longer appears in the visit;
+* **changed** — same URL, different content key: the region's encoded
+  bytes differ, so its pixels (and possibly its verdict) differ;
+* **moved** — same URL and content, different rect: a feed update
+  pushed the slot down the page;
+* **restyled** — same URL, content, and rect, different style key;
+* **unchanged** — byte-for-byte the same region in the same place.
+
+The split matters because the semantic filter treats them differently:
+content changes must re-classify, pure layout/style changes must not —
+PERCIVAL's verdict is a function of pixels, not position (§3.2), which
+is exactly what makes moved/restyled regions verdict-inheritable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.diff.snapshot import PageSnapshot, RegionRecord, RegionView
+
+
+@dataclass
+class TreeDiff:
+    """Outcome of diffing one visit against one snapshot."""
+
+    #: no snapshot existed: every region is a first encounter
+    first_visit: bool = False
+    added: List[RegionView] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: List[RegionView] = field(default_factory=list)
+    moved: List[RegionView] = field(default_factory=list)
+    restyled: List[RegionView] = field(default_factory=list)
+    unchanged: List[RegionView] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the visit reproduces the snapshot exactly."""
+        return not (
+            self.first_visit
+            or self.added
+            or self.removed
+            or self.changed
+            or self.moved
+            or self.restyled
+        )
+
+    @property
+    def total_regions(self) -> int:
+        """Regions observed on the current visit."""
+        return (
+            len(self.added)
+            + len(self.changed)
+            + len(self.moved)
+            + len(self.restyled)
+            + len(self.unchanged)
+        )
+
+    @property
+    def delta_regions(self) -> int:
+        """Regions whose *content* differs from the snapshot — the
+        O(delta) the incremental layer pays for."""
+        return len(self.added) + len(self.changed)
+
+    @property
+    def delta_fraction(self) -> float:
+        if not self.total_regions:
+            return 0.0
+        return self.delta_regions / self.total_regions
+
+
+def tree_diff(
+    snapshot: Optional[PageSnapshot], regions: Iterable[RegionView]
+) -> TreeDiff:
+    """Diff the current visit's ``regions`` against ``snapshot``.
+
+    Regions are keyed by resource URL (one region per URL — the same
+    identity the renderer's image cache and the revisit memory use);
+    when a visit repeats a URL the last observation wins, matching the
+    decoded-image cache's behaviour.
+    """
+    current: Dict[str, RegionView] = {view.url: view for view in regions}
+    diff = TreeDiff()
+    if snapshot is None:
+        diff.first_visit = True
+        diff.added.extend(current.values())
+        return diff
+    for url, view in current.items():
+        old = snapshot.get(url)
+        if old is None:
+            diff.added.append(view)
+        elif old.content_key != view.content_key:
+            diff.changed.append(view)
+        elif old.rect != view.rect:
+            diff.moved.append(view)
+        elif old.style_key != view.style_key:
+            diff.restyled.append(view)
+        else:
+            diff.unchanged.append(view)
+    for url in snapshot.regions:
+        if url not in current:
+            diff.removed.append(url)
+    return diff
+
+
+def apply_diff(
+    old_regions: Mapping[str, RegionRecord], diff: TreeDiff
+) -> Dict[str, RegionView]:
+    """Reconstruct the *new* visit's region map from the old snapshot
+    plus a diff — the differ's round-trip law (property-tested):
+
+        ``apply_diff(snapshot.regions, tree_diff(snapshot, views))``
+        equals ``{view.url: view for view in views}``.
+
+    Unchanged regions come from the snapshot; every other category
+    carries its new observation inline; removed URLs are dropped.
+    """
+    result: Dict[str, RegionView] = {}
+    for view in diff.unchanged:
+        old = old_regions.get(view.url)
+        result[view.url] = old.view() if old is not None else view
+    for bucket in (diff.added, diff.changed, diff.moved, diff.restyled):
+        for view in bucket:
+            result[view.url] = view
+    return result

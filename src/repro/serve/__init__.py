@@ -22,7 +22,10 @@ the ``PERCIVAL_SERVE_*`` knobs.
 With the ``PERCIVAL_CASCADE`` knob on, every entry point accepts a
 :class:`~repro.cascade.CascadeRouter` (``cascade=``) that resolves
 most provenance-tagged frames from rule tiers before the memo/queue —
-see ``repro.cascade`` and ``docs/cascade.md``.
+see ``repro.cascade`` and ``docs/cascade.md``.  With ``PERCIVAL_DIFF``
+on, a :class:`~repro.diff.FrameDiffer` (``differ=``) answers revisited
+frames from per-session page snapshots before anything else runs — see
+``repro.diff`` and ``docs/diffing.md``.
 """
 
 from repro.cascade.provenance import FrameProvenance
@@ -30,9 +33,11 @@ from repro.cascade.router import CascadeRouter, CascadeStats, resolve_cascade
 from repro.core.config import (
     ServeSettings,
     configured_cascade_enabled,
+    configured_diff_enabled,
     configured_serve_lanes,
     configured_serve_settings,
 )
+from repro.diff.differ import DiffStats, FrameDiffer, resolve_differ
 from repro.serve.loop import (
     ArrivalEvent,
     AsyncServeFront,
@@ -69,9 +74,11 @@ __all__ = [
     "BatchQueue",
     "CascadeRouter",
     "CascadeStats",
+    "DiffStats",
     "FleetReport",
     "FleetSimulator",
     "FleetSpec",
+    "FrameDiffer",
     "FrameProvenance",
     "LatencySummary",
     "PRIORITY_BELOW_FOLD",
@@ -88,8 +95,10 @@ __all__ = [
     "ServeStats",
     "TrafficSpec",
     "configured_cascade_enabled",
+    "configured_diff_enabled",
     "configured_serve_lanes",
     "configured_serve_settings",
     "resolve_cascade",
+    "resolve_differ",
     "synthesize_traffic",
 ]

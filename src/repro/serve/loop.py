@@ -38,9 +38,14 @@ that hits the blocker's **memo** is answered immediately and never
 enters the queue (cross-session sharing — the paper's memoized
 deployment, lifted above the page), and a fingerprint already
 **queued** coalesces onto the queued request as a rider, sharing its
-verdict without consuming queue depth or a batch slot.  Tier order is
-rule-hit → memo-hit → coalesce → queue; with the cascade off nothing
-changes, bit for bit.
+verdict without consuming queue depth or a batch slot.  With a
+:class:`~repro.diff.FrameDiffer` attached (``differ=`` / the
+``PERCIVAL_DIFF`` knob), one more tier runs in front of all of these:
+a request whose ``(session, page, url, content_key)`` matches the
+session's stored page snapshot inherits the snapshot's verdict before
+the bitmap is even fingerprinted — the O(delta) revisit path.  Tier
+order is diff-hit → rule-hit → memo-hit → coalesce → queue; with the
+cascade and differ off nothing changes, bit for bit.
 
 Admission control is explicit: a full queue sheds the request — the
 simulator records it, the asyncio front raises
@@ -65,6 +70,8 @@ from repro.core.config import (
     configured_serve_lanes,
     configured_serve_settings,
 )
+from repro.diff.differ import FrameDiffer, resolve_differ
+from repro.diff.snapshot import RegionRecord
 from repro.serve.metrics import ServeStats
 from repro.serve.queue import PRIORITY_VIEWPORT, BatchQueue, ServeRequest
 from repro.utils.clock import VirtualClock
@@ -112,6 +119,11 @@ class ArrivalEvent:
     #: renderer-side frame context for the cascade's rule tiers; None
     #: (or a disabled cascade) routes straight to the memo/queue path
     provenance: Optional[FrameProvenance] = None
+    #: pre-decode content hash of the frame's encoded bytes; with a
+    #: differ attached, the session's page snapshot can answer a
+    #: ``(url, content_key)`` revisit before the bitmap is ever
+    #: fingerprinted.  "" (or no provenance) skips the diff tier.
+    content_key: str = ""
 
 
 @dataclass
@@ -126,6 +138,10 @@ class ServeResult:
     decision: Optional[BlockDecision] = None
     shed: bool = False
     memo_hit: bool = False
+    #: answered by the session's page snapshot (diff tier): the stored
+    #: verdict settled the request before fingerprinting — ``key`` is
+    #: empty for these, no pixel hash was ever computed
+    diff_hit: bool = False
     #: answered by a cascade rule tier (no memo probe, no batch slot,
     #: no lane time); ``rule_tier`` names which tier ("micro"/"list")
     rule_hit: bool = False
@@ -202,6 +218,77 @@ class BatchComputeModel:
         return self.setup_ms + batch_size * self.per_image_ms
 
 
+def _feed_cascade_once(
+    cascade: CascadeRouter,
+    group: Sequence[ServeRequest],
+    decision: BlockDecision,
+) -> None:
+    """Feed one computed model verdict into the cascade exactly once.
+
+    A flush settles a leader plus its coalesced riders, but only one
+    verdict was computed for the group — feeding it back once per
+    settled request would hand the healer N observations for one
+    forward pass, enough to two-strike-invalidate a healthy rule from
+    a single frame.  The first open audit ticket in settle order wins
+    (leader first, riders in arrival order); with no ticket standing,
+    the first request carrying provenance absorbs the verdict.
+    """
+    for settled in group:
+        if settled.audit is not None:
+            cascade.reconcile(settled.audit, decision.is_ad)
+            return
+    for settled in group:
+        if settled.provenance is not None:
+            cascade.absorb(settled.provenance, decision)
+            return
+
+
+def _diff_recall(
+    differ: Optional[FrameDiffer],
+    session_id: str,
+    provenance: Optional[FrameProvenance],
+    content_key: str,
+) -> Optional[BlockDecision]:
+    """Diff-tier probe: the session snapshot's stored verdict for this
+    ``(page, url, content)`` triple, or ``None``.  Runs before the
+    fingerprint — a hit never hashes a pixel."""
+    if differ is None or provenance is None or not content_key:
+        return None
+    return differ.recall(
+        session_id, provenance.page_domain, provenance.url, content_key
+    )
+
+
+def _diff_remember(
+    differ: Optional[FrameDiffer],
+    session_id: str,
+    provenance: Optional[FrameProvenance],
+    content_key: str,
+    decision: Optional[BlockDecision],
+) -> None:
+    """Stream one settled model verdict into the session snapshot so
+    the next visit of the same region answers at the diff tier."""
+    if (
+        differ is None
+        or provenance is None
+        or not content_key
+        or decision is None
+    ):
+        return
+    differ.remember(
+        session_id,
+        provenance.page_domain,
+        RegionRecord(
+            url=provenance.url,
+            content_key=content_key,
+            width=provenance.width,
+            height=provenance.height,
+            is_ad=bool(decision.is_ad),
+            probability=float(decision.probability),
+        ),
+    )
+
+
 class ServeLoop:
     """Deterministic micro-batching simulator over a virtual clock.
 
@@ -222,6 +309,7 @@ class ServeLoop:
         settings: Optional[ServeSettings] = None,
         compute_model: Optional[Callable[[int], float]] = None,
         cascade: "CascadeRouter | None | bool" = None,
+        differ: "FrameDiffer | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
@@ -233,6 +321,9 @@ class ServeLoop:
         #: confidence router in front of the memo/queue tiers; None =
         #: off (auto-resolved from PERCIVAL_CASCADE when unspecified)
         self.cascade = resolve_cascade(cascade, blocker.classifier.config)
+        #: per-session snapshot/diff layer in front of everything; None
+        #: = off (auto-resolved from PERCIVAL_DIFF when unspecified)
+        self.differ = resolve_differ(differ, blocker.classifier.config)
 
     def resolved_lanes(self) -> int:
         """The lane count this loop will simulate with.
@@ -269,6 +360,8 @@ class ServeLoop:
         stats = ServeStats(lanes=self.resolved_lanes())
         if self.cascade is not None:
             stats.cascade = self.cascade.stats
+        if self.differ is not None:
+            stats.diff = self.differ.stats
         results: List[ServeResult] = []
         pending: Dict[str, ServeRequest] = {}
         #: which ServeResult belongs to each queued request (leaders
@@ -345,6 +438,28 @@ class ServeLoop:
         stats: ServeStats,
     ) -> ServeResult:
         stats.submitted += 1
+        recalled = _diff_recall(
+            self.differ, event.session_id, event.provenance,
+            event.content_key,
+        )
+        if recalled is not None:
+            # tier -1: the session's page snapshot — an unchanged
+            # region inherits its stored verdict before the bitmap is
+            # fingerprinted, let alone routed, probed, or queued
+            result = ServeResult(
+                request_id=request_id,
+                session_id=event.session_id,
+                key="",
+                arrival_ms=now_ms,
+                priority=event.priority,
+            )
+            result.decision = recalled
+            result.diff_hit = True
+            result.flush_ms = result.complete_ms = now_ms
+            stats.diff_hits += 1
+            stats.answered += 1
+            self._record_latency(stats, result)
+            return result
         key = self.blocker.fingerprint(event.bitmap)
         result = ServeResult(
             request_id=request_id,
@@ -382,6 +497,10 @@ class ServeLoop:
                     self.cascade.reconcile(audit, cached.is_ad)
                 else:
                     self.cascade.absorb(event.provenance, cached)
+            _diff_remember(
+                self.differ, event.session_id, event.provenance,
+                event.content_key, cached,
+            )
             return result
         request = ServeRequest(
             request_id=request_id,
@@ -392,6 +511,7 @@ class ServeLoop:
             priority=event.priority,
             provenance=event.provenance,
             audit=audit,
+            content_key=event.content_key,
         )
         leader = pending.get(key)
         if leader is not None:
@@ -429,7 +549,8 @@ class ServeLoop:
         complete_ms = now_ms + cost_ms
         for request, decision in zip(batch, decisions):
             pending.pop(request.key, None)
-            for settled in (request, *request.coalesced):
+            group = (request, *request.coalesced)
+            for settled in group:
                 result = open_results.pop(settled.request_id)
                 result.decision = decision
                 result.flush_ms = now_ms
@@ -437,11 +558,16 @@ class ServeLoop:
                 result.lane = lane
                 stats.answered += 1
                 self._record_latency(stats, result)
-                if self.cascade is not None:
-                    if settled.audit is not None:
-                        self.cascade.reconcile(settled.audit, decision.is_ad)
-                    else:
-                        self.cascade.absorb(settled.provenance, decision)
+                # every settled request refreshes its own session's
+                # snapshot — riders belong to other sessions/pages
+                _diff_remember(
+                    self.differ, settled.session_id, settled.provenance,
+                    settled.content_key, decision,
+                )
+            if self.cascade is not None:
+                # one computed verdict -> one healer observation,
+                # regardless of how many riders share the batch slot
+                _feed_cascade_once(self.cascade, group, decision)
         stats.batches += 1
         stats.batched_requests += len(batch)
         stats.capacity_samples.append(capacity)
@@ -489,14 +615,18 @@ class AsyncServeFront:
         settings: Optional[ServeSettings] = None,
         use_executor: bool = False,
         cascade: "CascadeRouter | None | bool" = None,
+        differ: "FrameDiffer | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.use_executor = use_executor
         self.cascade = resolve_cascade(cascade, blocker.classifier.config)
+        self.differ = resolve_differ(differ, blocker.classifier.config)
         self.stats = ServeStats()
         if self.cascade is not None:
             self.stats.cascade = self.cascade.stats
+        if self.differ is not None:
+            self.stats.diff = self.differ.stats
         self._queue = BatchQueue(self.settings)
         self._pending: Dict[str, ServeRequest] = {}
         self._waiters: Dict[int, "asyncio.Future[BlockDecision]"] = {}
@@ -518,6 +648,7 @@ class AsyncServeFront:
         session_id: str = "session",
         priority: int = PRIORITY_VIEWPORT,
         provenance: Optional[FrameProvenance] = None,
+        content_key: str = "",
     ) -> BlockDecision:
         """One classification request; resolves when its batch flushes."""
         if self._closed:
@@ -527,6 +658,14 @@ class AsyncServeFront:
         loop = asyncio.get_running_loop()
         now_ms = self._now_ms(loop)
         self.stats.submitted += 1
+        recalled = _diff_recall(
+            self.differ, session_id, provenance, content_key
+        )
+        if recalled is not None:
+            self.stats.diff_hits += 1
+            self.stats.answered += 1
+            self._record(now_ms, now_ms, now_ms, priority)
+            return recalled
         audit = None
         if self.cascade is not None:
             routed = self.cascade.route(provenance)
@@ -547,6 +686,9 @@ class AsyncServeFront:
                     self.cascade.reconcile(audit, cached.is_ad)
                 else:
                     self.cascade.absorb(provenance, cached)
+            _diff_remember(
+                self.differ, session_id, provenance, content_key, cached
+            )
             return cached
         self._next_id += 1
         request = ServeRequest(
@@ -558,6 +700,7 @@ class AsyncServeFront:
             priority=priority,
             provenance=provenance,
             audit=audit,
+            content_key=content_key,
         )
         future: "asyncio.Future[BlockDecision]" = loop.create_future()
         leader = self._pending.get(key)
@@ -727,7 +870,8 @@ class AsyncServeFront:
     ) -> None:
         for request, decision in zip(batch, decisions):
             self._pending.pop(request.key, None)
-            for settled in (request, *request.coalesced):
+            group = (request, *request.coalesced)
+            for settled in group:
                 future = self._waiters.pop(settled.request_id)
                 arrival_ms = self._arrivals.pop(settled.request_id)
                 if not future.done():
@@ -736,11 +880,14 @@ class AsyncServeFront:
                 self._record(
                     arrival_ms, flush_ms, complete_ms, settled.priority
                 )
-                if self.cascade is not None:
-                    if settled.audit is not None:
-                        self.cascade.reconcile(settled.audit, decision.is_ad)
-                    else:
-                        self.cascade.absorb(settled.provenance, decision)
+                _diff_remember(
+                    self.differ, settled.session_id, settled.provenance,
+                    settled.content_key, decision,
+                )
+            if self.cascade is not None:
+                # one computed verdict -> one healer observation,
+                # regardless of how many riders share the batch slot
+                _feed_cascade_once(self.cascade, group, decision)
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
         self.stats.capacity_samples.append(capacity)

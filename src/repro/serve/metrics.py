@@ -25,6 +25,7 @@ from repro.eval.reporting import format_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cascade.router import CascadeStats
+    from repro.diff.differ import DiffStats
 
 
 class LatencySummary:
@@ -84,6 +85,9 @@ class ServeStats:
     #: requests whose batch's classification raised after it was popped
     #: (asyncio front only: their awaiters receive the exception)
     failed: int = 0
+    #: answered from the session's page snapshot (diff tier), before
+    #: the request's bitmap was even fingerprinted
+    diff_hits: int = 0
     #: answered by a cascade rule tier, bypassing memo and queue both
     rule_hits: int = 0
     #: answered straight from the shared memo, bypassing the queue
@@ -115,6 +119,9 @@ class ServeStats:
     #: router-side cascade accounting, attached when a run serves with
     #: the confidence router enabled (None = cascade off)
     cascade: Optional["CascadeStats"] = None
+    #: differ-side accounting, attached when a run serves with the
+    #: snapshot/diff layer enabled (None = diff off)
+    diff: Optional["DiffStats"] = None
 
     def record_queue_wait(self, priority: int, value_ms: float) -> None:
         """Attribute one queue-wait sample to its priority class."""
@@ -141,6 +148,7 @@ class ServeStats:
             ("requests answered", self.answered),
             ("requests shed (backpressure)", self.shed),
             ("requests failed (batch error)", self.failed),
+            ("diff hits (snapshot verdict, no hash)", self.diff_hits),
             ("rule hits (cascade, no queue entry)", self.rule_hits),
             ("memo hits (no queue entry)", self.memo_hits),
             ("coalesced duplicates", self.coalesced),
@@ -180,7 +188,16 @@ class ServeStats:
                 ("cascade audits (model verify)", self.cascade.audits),
                 ("cascade rules compiled", self.cascade.compiled),
                 ("cascade rules invalidated", self.cascade.invalidations),
+                ("cascade invalidations audit/shadow",
+                 f"{self.cascade.audit_invalidations} / "
+                 f"{self.cascade.shadow_invalidations}"),
                 ("residual CNN fraction", f"{residual:.3f}"),
+            ])
+        if self.diff is not None:
+            rows.extend([
+                ("diff recalls (probe/hit)",
+                 f"{self.diff.recalls} / {self.diff.recall_hits}"),
+                ("diff regions remembered", self.diff.remembered),
             ])
         table = format_table(("metric", "value"), rows)
         return f"{title}\n{table}"

@@ -75,6 +75,10 @@ class ServeRequest:
     #: open audit ticket: a cascade rule predicted this frame and the
     #: model verdict must be reconciled against the rule's health
     audit: Optional["CascadeAudit"] = None
+    #: pre-decode content hash of the frame's encoded bytes; with a
+    #: differ attached, the computed verdict is streamed into the
+    #: session's page snapshot under this key at settle time
+    content_key: str = ""
 
 
 class BatchQueue:

@@ -61,7 +61,24 @@ class TrafficSpec:
     #: distinct page sites sessions cycle through (micro-rules are
     #: per-site, so fewer sites = more cross-session rule sharing)
     sites: int = 4
+    #: revisit epochs appended after the base trace: each session
+    #: re-emits its page's frames (same URL, same content key, same
+    #: bitmap) that many more times — the scroll/feed-update workload
+    #: the diff tier answers in O(delta).  0 = the classic flat trace,
+    #: bit-identical to the pre-revisit generator.
+    revisits: int = 0
+    #: fraction of a session's slots that swap in a *fresh* creative on
+    #: each revisit (the feed-update delta the differ cannot inherit)
+    revisit_churn: float = 0.1
+    #: virtual idle gap between the end of one epoch and the next
+    revisit_gap_ms: float = 50.0
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.revisits < 0:
+            raise ValueError("revisits must be >= 0")
+        if not 0.0 <= self.revisit_churn <= 1.0:
+            raise ValueError("revisit_churn must be in [0, 1]")
 
 
 def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]:
@@ -90,10 +107,15 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
             shared.append(generate_content(rng))
 
     events: List[ArrivalEvent] = []
+    # per-session slot state, kept so revisit epochs can re-emit the
+    # page's frames (same bitmap, same provenance, same content key)
+    pages: List[List[tuple]] = []
+    fresh_serial = 0
     for session_index in range(spec.sessions):
         session_id = f"session-{session_index:03d}"
         site = f"site{session_index % max(spec.sites, 1)}.example"
         at_ms = session_index * spec.session_stagger_ms
+        slots: List[tuple] = []
         for frame_index in range(spec.frames_per_session):
             at_ms += rng.uniform(0.0, 2.0 * spec.mean_gap_ms)
             shared_index = -1
@@ -101,12 +123,17 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
                 shared_index = int(rng.integers(len(shared)))
                 bitmap = shared[shared_index]
                 is_ad_frame = shared_index % 2 == 0
+                content_key = f"s{shared_index:03d}"
             elif rng.uniform() < spec.ad_fraction:
                 bitmap = generate_ad(rng, AdSpec())
                 is_ad_frame = True
+                fresh_serial += 1
+                content_key = f"c{fresh_serial:06d}"
             else:
                 bitmap = generate_content(rng)
                 is_ad_frame = False
+                fresh_serial += 1
+                content_key = f"c{fresh_serial:06d}"
             priority = (
                 PRIORITY_VIEWPORT
                 if frame_index < spec.viewport_frames
@@ -117,6 +144,7 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
                 provenance = prov.for_frame(
                     site, bitmap, is_ad_frame, shared_index
                 )
+            slots.append((bitmap, priority, provenance, content_key))
             events.append(
                 ArrivalEvent(
                     at_ms=at_ms,
@@ -124,8 +152,56 @@ def synthesize_traffic(spec: Optional[TrafficSpec] = None) -> List[ArrivalEvent]
                     bitmap=bitmap,
                     priority=priority,
                     provenance=provenance,
+                    content_key=content_key,
                 )
             )
+        pages.append(slots)
+
+    if spec.revisits:
+        # revisit draws come from their own derived stream: the base
+        # trace above is bit-identical with revisits on or off
+        revisit_rng = spawn_rng(spec.seed, "serve-traffic-revisit")
+        horizon = max((event.at_ms for event in events), default=0.0)
+        for _ in range(spec.revisits):
+            epoch_start = horizon + spec.revisit_gap_ms
+            for session_index, slots in enumerate(pages):
+                session_id = f"session-{session_index:03d}"
+                site = f"site{session_index % max(spec.sites, 1)}.example"
+                at_ms = epoch_start + session_index * spec.session_stagger_ms
+                for slot_index, slot in enumerate(slots):
+                    at_ms += revisit_rng.uniform(0.0, 2.0 * spec.mean_gap_ms)
+                    if revisit_rng.uniform() < spec.revisit_churn:
+                        # feed update: this slot swaps in a fresh
+                        # creative the snapshot cannot answer
+                        is_ad_frame = (
+                            revisit_rng.uniform() < spec.ad_fraction
+                        )
+                        if is_ad_frame:
+                            bitmap = generate_ad(revisit_rng, AdSpec())
+                        else:
+                            bitmap = generate_content(revisit_rng)
+                        fresh_serial += 1
+                        content_key = f"c{fresh_serial:06d}"
+                        provenance = slot[2]
+                        if prov is not None:
+                            provenance = prov.for_frame(
+                                site, bitmap, is_ad_frame, -1
+                            )
+                        slot = (bitmap, slot[1], provenance, content_key)
+                        slots[slot_index] = slot
+                    bitmap, priority, provenance, content_key = slot
+                    events.append(
+                        ArrivalEvent(
+                            at_ms=at_ms,
+                            session_id=session_id,
+                            bitmap=bitmap,
+                            priority=priority,
+                            provenance=provenance,
+                            content_key=content_key,
+                        )
+                    )
+                    horizon = max(horizon, at_ms)
+
     events.sort(key=lambda event: event.at_ms)
     return events
 
@@ -232,14 +308,20 @@ class RenderServeBridge:
         blocker: PercivalBlocker,
         settings: Optional[ServeSettings] = None,
         cascade: "CascadeRouter | None | bool" = None,
+        differ=None,
     ) -> None:
-        # leaf import: resolve_cascade reads the PERCIVAL_CASCADE knob
+        # leaf imports: the resolvers read their PERCIVAL_* knobs
         from repro.cascade.router import resolve_cascade
+        from repro.diff.differ import resolve_differ
 
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.compute_model = BatchComputeModel.from_blocker(blocker)
         self.cascade = resolve_cascade(cascade, blocker.classifier.config)
+        #: session-scoped snapshot differ; the renderer picks this up so
+        #: revisits of a page inherit unchanged regions' verdicts before
+        #: any decode happens (None = diff off)
+        self.differ = resolve_differ(differ, blocker.classifier.config)
         #: (priority, enqueue seq, key, bitmap, audit, provenance) —
         #: drained most-urgent first, FIFO within a priority class
         self._pending: List[tuple] = []

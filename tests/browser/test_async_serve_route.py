@@ -122,7 +122,13 @@ class TestServeBridgeRoute:
             pages[2], percival=blocker, mode="async", serve_bridge=bridge
         )
         assert first.images_decoded > 0
-        assert second.memo_hits == second.images_decoded
+        # with the diff layer on (PERCIVAL_DIFF), the revisit settles
+        # from the page snapshot instead of probing the memo — either
+        # way every frame resolves without fresh classification
+        assert (
+            second.memo_hits + second.diff_inherited
+            == second.images_decoded
+        )
         assert second.classify_cost_ms == 0.0
         assert second.async_classify_ms == 0.0
         assert bridge.depth == 0

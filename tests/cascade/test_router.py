@@ -162,6 +162,40 @@ class TestAbsorb:
         with pytest.raises(ValueError):
             CascadeRouter(engine, confidence=1.5)
 
+    def test_sourceless_provenance_never_reaches_micro_key(self, router):
+        """A provenance without a derivable source (no URL host) must
+        be rejected before key derivation — not compiled under the
+        degenerate ``page|?|shape`` key, not shadow-compared."""
+        for url in ("", "not a url", "/relative/path.png"):
+            router.absorb(_prov(url=url), _confident(True))
+        assert router.cache.size == 0
+        assert router.stats.compiled == 0
+        # rejected before the confidence check, too
+        assert router.stats.unconfident == 0
+
+
+class TestInvalidationStats:
+    def test_audit_invalidations_counted_separately(self):
+        router = CascadeRouter(None, audit_interval=1, invalidate_after=2)
+        prov = _prov()
+        router.absorb(prov, _confident(False))
+        for _ in range(2):
+            audit = router.route(prov)
+            assert isinstance(audit, CascadeAudit)
+            router.reconcile(audit, model_is_ad=True)  # drift
+        assert router.stats.audit_invalidations == 1
+        assert router.stats.shadow_invalidations == 0
+        assert router.stats.invalidations == 1
+
+    def test_shadow_invalidations_counted_separately(self, router):
+        prov = _prov()
+        router.absorb(prov, _confident(False))
+        router.absorb(prov, _confident(True))
+        router.absorb(prov, _confident(True))
+        assert router.stats.shadow_invalidations == 1
+        assert router.stats.audit_invalidations == 0
+        assert router.stats.invalidations == 1
+
 
 class TestResolveCascade:
     def test_false_pins_off_even_when_env_says_on(self, monkeypatch):

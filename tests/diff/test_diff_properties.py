@@ -1,0 +1,128 @@
+"""Property-based laws of the snapshot differ (hypothesis).
+
+The three laws the incremental re-classification layer stands on:
+
+1. **self-diff is empty** — diffing a snapshot against its own regions
+   yields no work of any kind,
+2. **round trip** — ``apply_diff(old, tree_diff(old, views))``
+   reconstructs exactly the new visit's region map: the diff loses no
+   information in either direction,
+3. **inheritance never flips a verdict** — for a model that is a pure
+   function of region content (PERCIVAL's §3.2 property), every
+   verdict the semantic filter inherits equals what re-classifying the
+   region would have produced, and non-inheritable records are never
+   inherited.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diff import (
+    RegionRecord,
+    RegionView,
+    SnapshotStore,
+    apply_diff,
+    semantic_filter,
+    tree_diff,
+)
+
+#: small pools so URL/content collisions (the interesting cases) are
+#: common rather than vanishing
+_URLS = [f"https://site.example/r{i}.png" for i in range(8)]
+_CONTENT_KEYS = ["k-ad", "k-content", "k-other"]
+
+_view_strategy = st.builds(
+    RegionView,
+    url=st.sampled_from(_URLS),
+    content_key=st.sampled_from(_CONTENT_KEYS),
+    x=st.integers(0, 3),
+    y=st.integers(0, 3),
+    width=st.integers(1, 2),
+    height=st.integers(1, 2),
+    style_key=st.sampled_from(["s-a", "s-b"]),
+)
+
+_views_strategy = st.lists(_view_strategy, max_size=12)
+
+
+def _model(content_key: str):
+    """A deterministic 'classifier': pure function of region content."""
+    is_ad = content_key == "k-ad"
+    probability = 0.97 if is_ad else 0.03
+    return is_ad, probability
+
+
+def _snapshot_from(views, settled):
+    """Commit ``views`` as a snapshot; ``settled`` views carry the
+    model's full decision, the rest are verdict-less records."""
+    store = SnapshotStore()
+    records = []
+    for index, view in enumerate(views):
+        if index in settled:
+            is_ad, probability = _model(view.content_key)
+            records.append(RegionRecord.from_view(view, is_ad, probability))
+        else:
+            records.append(RegionRecord.from_view(view))
+    return store.commit("session", "page", records)
+
+
+@given(views=_views_strategy)
+@settings(max_examples=200, deadline=None)
+def test_self_diff_is_empty(views):
+    snapshot = _snapshot_from(views, settled=set(range(len(views))))
+    diff = tree_diff(
+        snapshot, [record.view() for record in snapshot.regions.values()]
+    )
+    assert diff.is_empty
+    assert not diff.added and not diff.removed and not diff.changed
+    assert not diff.moved and not diff.restyled
+    assert diff.delta_regions == 0
+    assert len(diff.unchanged) == len(snapshot.regions)
+
+
+@given(old_views=_views_strategy, new_views=_views_strategy)
+@settings(max_examples=200, deadline=None)
+def test_apply_diff_round_trip(old_views, new_views):
+    snapshot = _snapshot_from(old_views, settled=set())
+    diff = tree_diff(snapshot, new_views)
+    rebuilt = apply_diff(snapshot.regions, diff)
+    assert rebuilt == {view.url: view for view in new_views}
+
+
+@given(new_views=_views_strategy)
+@settings(max_examples=100, deadline=None)
+def test_first_visit_round_trip(new_views):
+    diff = tree_diff(None, new_views)
+    assert diff.first_visit
+    assert not diff.is_empty  # a first visit is never "no work"
+    assert apply_diff({}, diff) == {view.url: view for view in new_views}
+
+
+@given(
+    old_views=_views_strategy,
+    new_views=_views_strategy,
+    settled=st.sets(st.integers(0, 11)),
+)
+@settings(max_examples=200, deadline=None)
+def test_inheritance_never_flips_a_verdict(old_views, new_views, settled):
+    snapshot = _snapshot_from(old_views, settled=settled)
+    diff = tree_diff(snapshot, new_views)
+    plan = semantic_filter(diff, snapshot)
+
+    # partition completeness: every current region is planned once
+    current = {view.url for view in new_views}
+    planned = plan.inherited_urls | {v.url for v in plan.reclassify}
+    assert planned == current
+    assert plan.total_regions == len(current)
+
+    for view, record in plan.inherit:
+        # only full decisions are inheritable, and only for regions
+        # whose content is byte-identical to the stored observation
+        assert record.inheritable
+        assert record.content_key == view.content_key
+        decision = record.verdict()
+        assert decision is not None and decision.from_cache
+        # the law itself: for a content-pure model, the inherited
+        # verdict equals what re-classification would have produced
+        is_ad, probability = _model(view.content_key)
+        assert decision.is_ad == is_ad
+        assert decision.probability == probability

@@ -24,6 +24,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import ServeSettings
+from repro.diff import FrameDiffer, RegionRecord, RegionView
 from repro.serve import BatchQueue, ServeRequest
 
 _DUMMY = np.zeros((1, 1, 4), dtype=np.float32)
@@ -321,3 +322,100 @@ def test_aging_bounds_starvation(aging_ms, priority, extra_wait):
     for t in (0.0, aging_ms / 2, matured):
         effective = queue.effective_priority(request, t)
         assert 0 <= effective <= priority
+
+
+# ----------------------------------------------------------------------
+# Extreme aging over diff-generated partial-page streams
+# ----------------------------------------------------------------------
+#: slot pools small enough that revisits overlap heavily — the regime
+#: the diff layer produces: most of a page inherits, a residue enqueues
+_SLOT_URLS = [f"https://site.example/slot{i}.png" for i in range(6)]
+_SLOT_KEYS = ["ck-ad", "ck-content", "ck-churned"]
+#: per-content priority class: ads are viewport-urgent, churned
+#: creatives are background — gives every residue stream mixed classes
+_SLOT_PRIORITY = {"ck-ad": 0, "ck-content": 1, "ck-churned": 3}
+
+_region_strategy = st.builds(
+    RegionView,
+    url=st.sampled_from(_SLOT_URLS),
+    content_key=st.sampled_from(_SLOT_KEYS),
+)
+_page_strategy = st.lists(_region_strategy, min_size=1, max_size=8)
+
+
+def _residue_requests(first_visit, second_visit):
+    """Run two visits through the differ; the reclassify residue of the
+    second visit becomes the queue's arrival stream."""
+    differ = FrameDiffer()
+    differ.commit(
+        "s", "page",
+        [
+            RegionRecord.from_view(
+                view,
+                view.content_key == "ck-ad",
+                0.97 if view.content_key == "ck-ad" else 0.03,
+            )
+            for view in first_visit
+        ],
+    )
+    plan = differ.plan("s", "page", second_visit)
+    # the plan partitions the page: whatever does not inherit enqueues
+    current = {view.url for view in second_visit}
+    assert plan.inherited_urls | {v.url for v in plan.reclassify} == current
+    return [
+        ServeRequest(
+            request_id=index,
+            session_id="s",
+            key=view.url,
+            bitmap=_DUMMY,
+            arrival_ms=float(index),
+            priority=_SLOT_PRIORITY[view.content_key],
+        )
+        for index, view in enumerate(plan.reclassify)
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    first_visit=_page_strategy,
+    second_visit=_page_strategy,
+    aging_ms=st.sampled_from([1e-6, 1e6]),
+)
+def test_extreme_aging_over_diff_residue_streams(
+    first_visit, second_visit, aging_ms
+):
+    """At both ends of the aging dial the queue stays lawful on the
+    partial-page streams the diff layer emits.  ``aging_ms ~ 1e-6``
+    collapses every class to the top one — pops are pure admission
+    order; ``aging_ms ~ 1e6`` never promotes within the test horizon —
+    pops rank by the static class.  Either way the ledger balances."""
+    requests = _residue_requests(first_visit, second_visit)
+    config = ServeSettings(max_batch=3, max_wait_ms=4.0, aging_ms=aging_ms)
+    queue = BatchQueue(config)
+    for request in requests:
+        assert queue.offer(request, request.arrival_ms)
+    drain_ms = (requests[-1].arrival_ms + 1.0) if requests else 1.0
+    batches = []
+    while True:
+        batch = queue.pop_batch(drain_ms, force=True)
+        if batch is None:
+            break
+        batches.append(batch)
+    flat = [request for batch in batches for request in batch]
+    assert all(len(batch) <= config.max_batch for batch in batches)
+    assert sorted(r.request_id for r in flat) == [
+        r.request_id for r in requests
+    ]
+    assert queue.flushed_count == queue.accepted_count == len(requests)
+    assert queue.depth == 0 and queue.shed_count == 0
+    if aging_ms <= 1e-3:
+        # everything matured past every class boundary: strict FIFO
+        assert [r.request_id for r in flat] == [
+            r.request_id for r in requests
+        ]
+    else:
+        # nothing aged at all: every batch ranks by the static class,
+        # FIFO within it
+        for batch in batches:
+            ranks = [(r.priority, r.request_id) for r in batch]
+            assert ranks == sorted(ranks)

@@ -7,9 +7,10 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.cascade import CascadeRouter
+from repro.cascade import CascadeRouter, FrameProvenance
 from repro.core import AdClassifier, PercivalBlocker, PercivalConfig, ServeSettings
 from repro.serve import (
+    ArrivalEvent,
     AsyncServeFront,
     FleetSimulator,
     FleetSpec,
@@ -98,10 +99,11 @@ def test_rule_hits_conserve_and_skip_the_queue(traffic):
         assert not result.memo_hit
         assert result.rule_tier in ("micro", "list")
         assert result.decision.from_cache
-    # rule hits never occupy a batch slot
+    # rule hits never occupy a batch slot (diff_hits covers runs with
+    # the PERCIVAL_DIFF tier enabled in front of the cascade)
     assert (
         stats.batched_requests + stats.memo_hits + stats.coalesced
-        + stats.rule_hits == stats.answered
+        + stats.rule_hits + stats.diff_hits == stats.answered
     )
 
 
@@ -200,3 +202,75 @@ def test_async_front_routes_through_the_cascade(traffic):
 
     plain = asyncio.run(drive_plain())
     assert [d.is_ad for d in decisions] == [d.is_ad for d in plain]
+
+
+def _coalesced_audit_setup():
+    """A serving micro-rule whose every hit audits, plus N arrivals of
+    one identical frame: one leader, N-1 coalesced riders, every one
+    of them carrying its own audit ticket into the same flush."""
+    rng = np.random.default_rng(17)
+    bitmap = rng.random((32, 32, 4)).astype(np.float32)
+    provenance = FrameProvenance(
+        url="https://ads.net.example/serve/c0001.png",
+        page_domain="site0.example",
+        width=320,
+        height=100,
+    )
+    router = CascadeRouter(None, audit_interval=1, invalidate_after=2)
+    # the rule predicts "ad"; the untrained model will answer "not ad",
+    # so every healer observation on this rule is a disagreement
+    rule = router.cache.compile_rule(provenance.micro_key(), True, 0.99)
+    events = [
+        ArrivalEvent(
+            at_ms=0.0, session_id=f"s{i}", bitmap=bitmap,
+            provenance=provenance,
+        )
+        for i in range(4)
+    ]
+    return router, rule, events
+
+
+def test_coalesced_riders_feed_the_healer_once_per_verdict():
+    """Regression: a flush settling one computed verdict across a
+    leader and its coalesced riders must produce exactly ONE healer
+    observation — not one per rider.  Before the fix, four riders of a
+    disagreeing frame meant four disagreements from a single model
+    verdict, enough to invalidate a healthy rule in one flush."""
+    router, rule, events = _coalesced_audit_setup()
+    report = ServeLoop(_blocker(), SETTINGS, cascade=router).run(events)
+    stats = report.stats
+    assert stats.conserved()
+    assert stats.coalesced == 3 and stats.batched_requests == 1
+    assert rule.audits == 4  # every arrival was audited at route time
+    # one computed verdict -> one observation, rider count irrelevant
+    assert rule.agreements + rule.disagreements == 1
+    assert rule.disagreements == 1
+    assert not rule.invalidated, (
+        "a single verdict must never count as repeated drift"
+    )
+    assert router.stats.audit_invalidations == 0
+
+
+def test_coalesced_riders_feed_the_healer_once_async():
+    """The asyncio front's settle path obeys the same law."""
+    router, rule, events = _coalesced_audit_setup()
+    front = AsyncServeFront(_blocker(), SETTINGS, cascade=router)
+
+    async def drive():
+        results = await asyncio.gather(*[
+            front.submit(
+                event.bitmap,
+                session_id=event.session_id,
+                provenance=event.provenance,
+            )
+            for event in events
+        ])
+        await front.aclose()
+        return results
+
+    decisions = asyncio.run(drive())
+    assert len(decisions) == len(events)
+    assert front.stats.conserved()
+    assert front.stats.coalesced == 3
+    assert rule.agreements + rule.disagreements == 1
+    assert not rule.invalidated
