@@ -24,7 +24,14 @@ import pytest
 
 from repro.core import InferenceWorkerPool, PercivalBlocker, ServeSettings
 from repro.eval.reporting import paper_vs_measured
+from repro.resilience import (
+    ChaosEvent,
+    ChaosSchedule,
+    LadderSettings,
+    ResiliencePlane,
+)
 from repro.serve import (
+    ArrivalEvent,
     AsyncServeFront,
     FleetSimulator,
     FleetSpec,
@@ -366,3 +373,105 @@ def test_fleet_replay_slo_autoscaler(
     assert after.peak_lanes > 1
     assert after.peak_p99_ms < before.peak_p99_ms
     assert after.shed <= before.shed
+
+
+@pytest.mark.bench_smoke
+def test_chaos_brownout_dwell(
+    reference_classifier, report_table, bench_record
+):
+    """Resilience under a latency storm: a 20x spike pushes the p95
+    far past the ladder's SLO, the degradation controller browns out,
+    and the storm's end recovers it — all on the virtual clock, so the
+    dwell split (ms browned out vs normal) is a deterministic
+    regression artifact.  Served verdicts must stay bit-identical to
+    the fault-free replay; the dwell numbers are trend-only."""
+    rng = np.random.default_rng(47)
+    frames = [
+        rng.random((12, 14, 4)).astype(np.float32) for _ in range(72)
+    ]
+    events = [
+        ArrivalEvent(
+            at_ms=i * 0.5, session_id=f"s{i % 4}", bitmap=frames[i]
+        )
+        for i in range(48)
+    ] + [
+        ArrivalEvent(
+            at_ms=60.0 + j * 4.0, session_id=f"s{j % 4}",
+            bitmap=frames[48 + j],
+        )
+        for j in range(24)
+    ]
+    settings = ServeSettings(max_batch=4, max_wait_ms=2.0, max_depth=64,
+                             lanes=1)
+    schedule = ChaosSchedule([
+        ChaosEvent(at_ms=4.0, fault="latency-spike", duration_ms=28.0,
+                   magnitude=20.0),
+    ])
+    ladder = LadderSettings(
+        slo_ms=10.0, percentile=95.0, window=8, min_samples=2,
+        recover_headroom=0.8, min_dwell_ms=4.0, widen_factor=2.0,
+    )
+
+    def run(chaos, resilience):
+        blocker = PercivalBlocker(
+            reference_classifier, calibrated_latency_ms=2.0
+        )
+        return ServeLoop(
+            blocker, settings, compute_model=lambda n: 2.0,
+            chaos=chaos, resilience=resilience,
+        ).run(events)
+
+    fault_free = run(chaos=False, resilience=False)
+    plane = ResiliencePlane(ladder=ladder)
+    stormy = run(chaos=schedule, resilience=plane)
+
+    assert fault_free.stats.conserved()
+    assert stormy.stats.conserved()
+    baseline = {
+        r.request_id: r.decision.probability
+        for r in fault_free.results if r.decision is not None
+    }
+    shaken = {
+        r.request_id: r.decision.probability
+        for r in stormy.results if r.decision is not None
+    }
+    for request_id in baseline.keys() & shaken.keys():
+        assert baseline[request_id] == shaken[request_id]
+
+    downs = sum(
+        1 for t in plane.controller.transitions if t.direction == "down"
+    )
+    ups = sum(
+        1 for t in plane.controller.transitions if t.direction == "up"
+    )
+    dwell = plane.controller.dwell_ms
+    browned_out_ms = sum(
+        ms for name, ms in dwell.items() if name != "normal"
+    )
+    rows = [
+        ("requests / chaos events", "-", f"{len(events)} / 1"),
+        ("spike magnitude x duration", "-", "20x / 28 ms"),
+        ("ladder steps down / up", ">= 1 each", f"{downs} / {ups}"),
+        ("dwell normal (virtual ms)", "-", dwell["normal"]),
+        ("dwell browned out (virtual ms)", "> 0", browned_out_ms),
+        ("fault-free makespan (ms)", "-", fault_free.makespan_ms),
+        ("storm makespan (ms)", "-", stormy.makespan_ms),
+        ("served verdicts moved", "0 (bitwise)", 0),
+    ]
+    report_table(paper_vs_measured(
+        "Chaos brownout: degradation-ladder dwell (virtual time)", rows
+    ))
+    bench_record(
+        "serving_chaos_brownout",
+        requests=len(events),
+        transitions_down=downs,
+        transitions_up=ups,
+        dwell_normal_ms=dwell["normal"],
+        dwell_browned_out_ms=browned_out_ms,
+        fault_free_makespan_ms=fault_free.makespan_ms,
+        storm_makespan_ms=stormy.makespan_ms,
+        sheds=stormy.stats.shed,
+    )
+    assert downs >= 1
+    assert ups >= 1
+    assert browned_out_ms > 0.0

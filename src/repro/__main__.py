@@ -75,6 +75,40 @@ def _resolved_differ(args: argparse.Namespace, config):
     return FrameDiffer(capacity=configured_diff_capacity())
 
 
+def _resolved_chaos(args: argparse.Namespace):
+    """``--chaos`` flag -> ServeLoop-style ``chaos=`` argument: a
+    seeded :class:`ChaosSchedule` when a seed was given, ``False`` when
+    ``off``, ``None`` (``PERCIVAL_CHAOS`` environment knob) when the
+    flag was not given."""
+    from repro.resilience import ChaosSchedule
+
+    flag = getattr(args, "chaos", None)
+    if flag is None:
+        return None
+    if flag == "off":
+        return False
+    return ChaosSchedule.seeded(int(flag))
+
+
+def _print_resilience(plane) -> None:
+    """CLI summary of a run's resilience plane: breaker/ladder state
+    plus every ladder transition with its reason."""
+    if plane is None:
+        return
+    print(f"resilience: {plane.describe()}")
+    controller = plane.controller
+    for t in controller.transitions:
+        print(f"  ladder {t.direction}: {t.from_level} -> {t.to_level}"
+              f" at {t.at_ms:.1f}ms ({t.reason})")
+    dwell = ", ".join(
+        f"{name}={ms:.1f}ms"
+        for name, ms in controller.dwell_ms.items()
+        if ms > 0.0
+    )
+    if dwell:
+        print(f"  brownout dwell: {dwell}")
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.cascade import CascadeHit, FrameProvenance
     from repro.core import PercivalBlocker, get_reference_classifier
@@ -184,6 +218,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     classifier = get_reference_classifier(_resolved_config(args))
     cascade = _resolved_cascade(args, classifier.config)
     differ = _resolved_differ(args, classifier.config)
+    chaos = _resolved_chaos(args)
     pool = get_worker_pool(classifier, num_workers=args.workers)
     settings = ServeSettings(
         max_batch=args.max_batch,
@@ -209,7 +244,10 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 settings,
                 policy=SLOPolicy(p99_target_ms=args.p99_target_ms),
                 cascade=cascade,
+                chaos=chaos,
             )
+            if simulator.chaos is not None:
+                print(simulator.chaos.describe())
             fleet_report = simulator.run(FleetSpec(
                 epochs=args.epochs,
                 base_sessions=max(args.sessions // 4, 1),
@@ -218,6 +256,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 seed=args.seed,
             ))
             print(fleet_report.to_table())
+            _print_resilience(simulator.resilience)
             if not fleet_report.conserved():
                 print("CONSERVATION VIOLATED: requests lost or duplicated")
                 return 1
@@ -229,9 +268,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             provenance=cascade is not False or differ is not False,
             revisits=args.revisits,
         ))
-        report = ServeLoop(
-            blocker, settings, cascade=cascade, differ=differ
-        ).run(events)
+        loop = ServeLoop(
+            blocker, settings, cascade=cascade, differ=differ, chaos=chaos
+        )
+        if loop.chaos is not None:
+            print(loop.chaos.describe())
+        report = loop.run(events)
     finally:
         shutdown_worker_pool()
     print(report.stats.to_table(
@@ -242,6 +284,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"lanes={report.stats.lanes})"
     ))
     print(f"virtual makespan: {report.makespan_ms:.1f} ms")
+    _print_resilience(report.stats.resilience)
     if not report.stats.conserved():
         print("CONSERVATION VIOLATED: requests lost or duplicated")
         return 1
@@ -408,6 +451,13 @@ def main(argv: list | None = None) -> int:
         help="revisit epochs appended to the trace: each session "
              "re-emits its page with a small churned delta — the "
              "workload the --diff tier answers in O(delta)",
+    )
+    serve_sim.add_argument(
+        "--chaos", metavar="SEED|off", default=None,
+        help="replay a seeded fault-injection schedule through the "
+             "serve stack (worker death, tier outages, latency spikes;"
+             " implies circuit breakers + the degradation ladder); "
+             "'off' pins chaos off regardless of PERCIVAL_CHAOS",
     )
     serve_sim.add_argument("--precision", **precision_kwargs)
     serve_sim.add_argument("--cascade", **cascade_kwargs)

@@ -288,6 +288,83 @@ def configured_diff_capacity(explicit: int | None = None) -> int:
     return value
 
 
+def configured_chaos_seed(explicit: int | None = None) -> int | None:
+    """Resolve the ``PERCIVAL_CHAOS`` knob to a schedule seed or None.
+
+    Resolution order: an ``explicit`` value wins; otherwise the
+    ``PERCIVAL_CHAOS`` environment variable is consulted, where
+    unset/empty/``off``/``false``/``no`` means *no chaos* — the
+    bit-identical fault-free path — ``on`` means seed 0, and an
+    integer is used as the
+    :meth:`~repro.resilience.ChaosSchedule.seeded` seed directly
+    (``0`` is a valid seed, not "off").  Anything else raises
+    ``ValueError``.
+    """
+    if explicit is not None:
+        return int(explicit)
+    raw = os.environ.get("PERCIVAL_CHAOS", "").strip().lower()
+    if raw in ("", "off", "false", "no", "none"):
+        return None
+    if raw in ("on", "true", "yes"):
+        return 0
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"PERCIVAL_CHAOS must be 'off', 'on', or an integer seed,"
+            f" got {raw!r}"
+        ) from exc
+
+
+def configured_resilience_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the ``PERCIVAL_RESILIENCE`` knob to on/off.
+
+    Resolution order: an ``explicit`` value wins; otherwise the
+    ``PERCIVAL_RESILIENCE`` environment variable is consulted, where
+    unset/empty/``off``/``0``/``false``/``no`` means off — the
+    bit-identical pre-resilience serving path — and
+    ``on``/``1``/``true``/``yes`` attaches the breaker/ladder plane.
+    (An active chaos schedule implies the plane regardless.)
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("PERCIVAL_RESILIENCE", "").strip().lower()
+    if raw in ("", "off", "0", "false", "no"):
+        return False
+    if raw in ("on", "1", "true", "yes"):
+        return True
+    raise ValueError(
+        f"PERCIVAL_RESILIENCE must be 'on' or 'off', got {raw!r}"
+    )
+
+
+def configured_respawn_budget(explicit: int | None = None) -> int:
+    """Resolve the ``PERCIVAL_RESPAWN_BUDGET`` knob: how many worker
+    *replacements* (respawns after a death — initial spawns and resize
+    growth are free) a pool may perform over its lifetime.
+
+    An ``explicit`` value wins; otherwise the environment variable
+    applies, and unset/empty means the default (16).  Values below 0
+    raise ``ValueError``; 0 means a dead worker is never replaced.
+    """
+    if explicit is None:
+        raw = os.environ.get("PERCIVAL_RESPAWN_BUDGET", "").strip()
+        if not raw:
+            return 16
+        try:
+            explicit = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"PERCIVAL_RESPAWN_BUDGET must be an integer, got {raw!r}"
+            ) from exc
+    value = int(explicit)
+    if value < 0:
+        raise ValueError(
+            f"PERCIVAL_RESPAWN_BUDGET must be >= 0, got {value}"
+        )
+    return value
+
+
 def configured_precision(explicit: str | None = None) -> str:
     """Resolve the ``PERCIVAL_PRECISION`` knob to a precision name.
 

@@ -37,14 +37,28 @@ Failure semantics: any worker death or timeout surfaces as
 :class:`WorkerPoolError`, which callers (``PercivalBlocker``) treat as
 "fall back to in-process inference" — a dying pool can slow a page
 down, never mis-classify it.  Dead workers are respawned on the next
-call.  Teardown (``close()``) is idempotent and also registered via
-``atexit``; the pool is a context manager.
+call, but not forever: replacements draw on a bounded **respawn
+budget** (``PERCIVAL_RESPAWN_BUDGET``) with exponential backoff
+between attempts, so a deterministically-crashing worker degrades the
+pool to its surviving workers (and eventually to the in-process path)
+instead of burning a fork per batch.  Teardown (``close()``) is
+idempotent and also registered via ``atexit``; the pool is a context
+manager.
+
+The ``chaos_*`` methods are the deterministic fault-injection surface
+the :mod:`repro.resilience` chaos plane drives: they *arm* a fault on
+a live worker (die/stall on its next sub-batch, emit an unsolicited
+reply, fail the next publication) so the failure lands mid-protocol,
+exactly where the recovery paths above must catch it.  They are inert
+unless called — a pool that never sees chaos runs the same bytes as
+before.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import time
 from multiprocessing import shared_memory
 from multiprocessing.connection import Connection
 from typing import List, Optional, Tuple
@@ -52,6 +66,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.classifier import AdClassifier, PlanExport
+from repro.core.config import configured_respawn_budget
 
 
 class WorkerPoolError(RuntimeError):
@@ -77,15 +92,33 @@ def _worker_main(conn: Connection) -> None:
     ``("result", task_id, probabilities)`` per sub-batch, and
     ``("error", detail)`` / ``("error", task_id, detail)`` on failure —
     the worker survives a failed request and keeps serving.
+
+    Chaos commands (armed by the parent's ``chaos_*`` methods) fire on
+    the *next* ``run`` so the fault lands mid-batch: ``chaos-die-on-run``
+    exits without replying (the parent gathers an EOF),
+    ``chaos-stall-on-run`` sleeps past the pool timeout first, and
+    ``chaos-echo`` emits an unsolicited reply immediately (the parent's
+    next gather goes out-of-sync and discards this worker's pipe).
     """
     classifier: Optional[AdClassifier] = None
+    die_on_run = False
+    stall_on_run_s = 0.0
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
         kind = message[0]
-        if kind == "plan":
+        if kind == "chaos-die-on-run":
+            die_on_run = True
+        elif kind == "chaos-stall-on-run":
+            stall_on_run_s = float(message[1])
+        elif kind == "chaos-echo":
+            try:
+                conn.send(("chaos-echo",))
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "plan":
             _, export, segment_name = message
             try:
                 segment = shared_memory.SharedMemory(name=segment_name)
@@ -99,6 +132,11 @@ def _worker_main(conn: Connection) -> None:
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
         elif kind == "run":
             _, task_id, batch = message
+            if die_on_run:
+                break
+            if stall_on_run_s > 0.0:
+                time.sleep(stall_on_run_s)
+                stall_on_run_s = 0.0
             if classifier is None:
                 conn.send(("error", task_id, "no published weights"))
                 continue
@@ -129,19 +167,30 @@ class _Worker:
 class InferenceWorkerPool:
     """A process pool sharding batched inference across cores."""
 
+    #: ceiling of the exponential respawn backoff
+    _MAX_RESPAWN_BACKOFF_S = 2.0
+
     def __init__(
         self,
         num_workers: int,
         start_method: Optional[str] = None,
         timeout_s: float = _DEFAULT_TIMEOUT_S,
+        respawn_budget: Optional[int] = None,
+        respawn_backoff_s: float = 0.05,
     ) -> None:
         if num_workers < 1:
             raise ValueError(
                 "num_workers must be >= 1; use configured_worker_count()"
                 " == 0 (PERCIVAL_WORKERS=0) to disable sharding instead"
             )
+        if respawn_backoff_s < 0:
+            raise ValueError("respawn_backoff_s must be >= 0")
         self.num_workers = int(num_workers)
         self.timeout_s = float(timeout_s)
+        #: worker replacements (after a death) this pool may still make;
+        #: None defers to the PERCIVAL_RESPAWN_BUDGET knob
+        self.respawn_budget = configured_respawn_budget(respawn_budget)
+        self.respawn_backoff_s = float(respawn_backoff_s)
         self._ctx = (
             mp.get_context(start_method)
             if start_method is not None
@@ -153,6 +202,13 @@ class InferenceWorkerPool:
         self._task_counter = 0
         self._closed = False
         self._dispatching = False
+        #: worker replacements performed so far (initial spawns and
+        #: resize growth are free — they replace nothing)
+        self.respawns = 0
+        self._respawn_streak = 0
+        self._respawn_not_before_s = 0.0
+        self._chaos_publish_failures = 0
+        self._fail_next_publish = False
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -168,8 +224,30 @@ class InferenceWorkerPool:
 
     @property
     def published_fingerprint(self) -> Optional[str]:
-        """Fingerprint of the weights workers currently hold."""
+        """Fingerprint of the weights workers currently hold.
+
+        Reads as unpublished while a chaos publish failure is armed, so
+        the caller's staleness check routes through ``publish()`` and
+        hits the injected failure exactly once."""
+        if self._fail_next_publish:
+            return None
         return self._export.fingerprint if self._export else None
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True once every allowed worker replacement has been spent."""
+        return self.respawns >= self.respawn_budget
+
+    def stats(self) -> dict:
+        """Pool health counters for serving dashboards and tests."""
+        return {
+            "num_workers": self.num_workers,
+            "alive_workers": self.alive_workers,
+            "respawns": self.respawns,
+            "respawn_budget": self.respawn_budget,
+            "budget_exhausted": self.budget_exhausted,
+            "chaos_publish_failures": self._chaos_publish_failures,
+        }
 
     @property
     def dispatching(self) -> bool:
@@ -185,11 +263,16 @@ class InferenceWorkerPool:
         mid-``predict_proba`` (the parent gathers synchronously, so a
         concurrent caller would serialize behind the in-flight batch);
         otherwise the full worker count — dead workers are respawned at
-        call entry, so they still count as capacity.  The serving layer
-        polls this without blocking to size and pace its flushes.
+        call entry, so they still count as capacity.  Once the respawn
+        budget is exhausted nothing will replace further deaths, so
+        capacity honestly degrades to the surviving workers.  The
+        serving layer polls this without blocking to size and pace its
+        flushes.
         """
         if self._closed or self._export is None or self._dispatching:
             return 0
+        if self.budget_exhausted:
+            return self.alive_workers
         return self.num_workers
 
     # ------------------------------------------------------------------
@@ -205,6 +288,10 @@ class InferenceWorkerPool:
         the published fingerprint.
         """
         self._ensure_open()
+        if self._fail_next_publish:
+            self._fail_next_publish = False
+            self._chaos_publish_failures += 1
+            raise WorkerPoolError("injected publish failure (chaos)")
         fingerprint = classifier.weights_fingerprint()
         if self._export is None or self._export.fingerprint != fingerprint:
             export = classifier.export_plan()
@@ -255,9 +342,12 @@ class InferenceWorkerPool:
         self._dispatching = True
         try:
             self._sync_workers()
+            # split across the workers actually alive — a pool running
+            # degraded (deferred/exhausted respawns) still covers the
+            # whole batch, just across fewer processes
             shards = [
                 shard
-                for shard in np.array_split(batch, self.num_workers)
+                for shard in np.array_split(batch, len(self._workers))
                 if shard.shape[0]
             ]
             in_flight: List[Tuple[_Worker, int]] = []
@@ -299,6 +389,49 @@ class InferenceWorkerPool:
             return np.concatenate(gathered)
         finally:
             self._dispatching = False
+
+    # ------------------------------------------------------------------
+    # Deterministic fault injection (the repro.resilience chaos plane)
+    # ------------------------------------------------------------------
+    def chaos_arm_worker_death(self, index: int = 0) -> bool:
+        """Arm worker ``index`` to exit on its next sub-batch, so the
+        parent sees EOF mid-gather.  Returns False when no worker could
+        be armed (pool closed/empty) — the fault is then a no-op."""
+        return self._chaos_send(index, ("chaos-die-on-run",))
+
+    def chaos_arm_worker_stall(
+        self, index: int = 0, stall_s: Optional[float] = None
+    ) -> bool:
+        """Arm worker ``index`` to sleep past the pool timeout before
+        answering its next sub-batch (the slow-worker path)."""
+        if stall_s is None:
+            stall_s = self.timeout_s * 2.0
+        return self._chaos_send(index, ("chaos-stall-on-run", float(stall_s)))
+
+    def chaos_corrupt_pipe(self, index: int = 0) -> bool:
+        """Make worker ``index`` emit an unsolicited reply now, so the
+        parent's next gather from it is out-of-sync (pipe corruption —
+        the worker gets discarded, never trusted)."""
+        return self._chaos_send(index, ("chaos-echo",))
+
+    def chaos_fail_next_publish(self) -> bool:
+        """The next ``publish()`` raises :class:`WorkerPoolError`, and
+        until it does the published fingerprint reads unpublished (so
+        the caller's staleness check actually routes through it)."""
+        if self._closed:
+            return False
+        self._fail_next_publish = True
+        return True
+
+    def _chaos_send(self, index: int, command: tuple) -> bool:
+        if self._closed or not self._workers:
+            return False
+        worker = self._workers[index % len(self._workers)]
+        try:
+            worker.conn.send(command)
+        except (BrokenPipeError, OSError):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -409,21 +542,63 @@ class InferenceWorkerPool:
         return _Worker(process, parent_conn)
 
     def _sync_workers(self) -> None:
-        """Respawn dead workers; (re)send the plan to stale ones."""
+        """Respawn dead workers; (re)send the plan to stale ones.
+
+        Replacements are budgeted: a worker that died costs one unit of
+        ``respawn_budget`` to replace, and consecutive replacement
+        rounds back off exponentially (a deterministically-crashing
+        worker must not cost a fork per batch).  While a replacement is
+        deferred — or the budget is spent — the pool keeps serving
+        *degraded* on its surviving workers; with none left it raises
+        :class:`WorkerPoolError` and the caller falls back in-process.
+        Initial spawns and resize growth replace nothing and are free.
+        """
         if self._export is None or self._segment is None:
             raise WorkerPoolError("no weights published; call publish()")
         alive: List[_Worker] = []
+        dead = 0
         for worker in self._workers:
             if worker.process.is_alive():
                 alive.append(worker)
             else:
+                dead += 1
                 try:
                     worker.conn.close()
                 except OSError:
                     pass
-        while len(alive) < self.num_workers:
+        missing = max(self.num_workers - len(alive), 0)
+        growth = max(missing - dead, 0)
+        replacements = missing - growth
+        for _ in range(growth):
             alive.append(self._spawn())
+        if replacements:
+            now_s = time.monotonic()
+            if self.budget_exhausted or now_s < self._respawn_not_before_s:
+                replacements = 0
+            else:
+                replacements = min(
+                    replacements, self.respawn_budget - self.respawns
+                )
+        if replacements:
+            for _ in range(replacements):
+                alive.append(self._spawn())
+            self.respawns += replacements
+            self._respawn_streak += 1
+            backoff = min(
+                self.respawn_backoff_s * (2.0 ** (self._respawn_streak - 1)),
+                self._MAX_RESPAWN_BACKOFF_S,
+            )
+            self._respawn_not_before_s = time.monotonic() + backoff
+        elif not dead and len(alive) >= self.num_workers:
+            # a fully healthy sync ends the crash streak: the next
+            # death pays the base backoff again, not the escalated one
+            self._respawn_streak = 0
         self._workers = alive
+        if not self._workers:
+            raise WorkerPoolError(
+                "no live workers (respawn budget exhausted or backing"
+                " off); callers fall back in-process"
+            )
         stale = [
             worker
             for worker in self._workers

@@ -1,0 +1,185 @@
+"""Per-tier circuit breakers for the serving stack.
+
+A :class:`TierBreaker` sits in front of one speed tier (the worker
+pool, the cascade's rule serving, the differ's snapshot inheritance)
+and answers one question per request: *should this tier be consulted
+right now?*  The classic three-state machine:
+
+* **closed** — the tier serves; the breaker keeps a rolling window of
+  the last ``window`` outcomes and trips **open** when
+  ``trip_failures`` of them failed.
+* **open** — the tier is skipped outright (callers take the next tier
+  down, which every tier has by construction: the serve stack's
+  bit-identical off-paths are exactly the fallback).  After
+  ``cooldown_ms`` the breaker moves to half-open.
+* **half-open** — exactly one probe request is admitted.  Success
+  closes the breaker (window cleared, cooldown reset); failure reopens
+  it with the cooldown doubled, up to ``max_cooldown_ms`` — a
+  deterministic exponential reopen schedule, no jitter.
+
+Like :class:`~repro.serve.queue.BatchQueue`, the breaker never reads a
+wall clock: every method takes ``now_ms`` explicitly, so the
+virtual-clock serve loop, the asyncio front (real milliseconds), and
+unit tests all drive the same deterministic state machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerSettings:
+    """Failure-window and reopen-schedule knobs of one breaker."""
+
+    #: rolling outcome window the trip condition is evaluated over
+    window: int = 16
+    #: failures inside the window that trip the breaker open
+    trip_failures: int = 4
+    #: how long an open breaker rejects before probing, initially
+    cooldown_ms: float = 50.0
+    #: cooldown multiplier after each failed half-open probe
+    cooldown_backoff: float = 2.0
+    #: ceiling of the exponential reopen schedule
+    max_cooldown_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 1 <= self.trip_failures <= self.window:
+            raise ValueError("need 1 <= trip_failures <= window")
+        if self.cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be > 0")
+        if self.cooldown_backoff < 1.0:
+            raise ValueError("cooldown_backoff must be >= 1")
+        if self.max_cooldown_ms < self.cooldown_ms:
+            raise ValueError("max_cooldown_ms must be >= cooldown_ms")
+
+
+class TierBreaker:
+    """Closed/open/half-open breaker over explicit virtual time."""
+
+    def __init__(
+        self, name: str, settings: BreakerSettings | None = None
+    ) -> None:
+        self.name = name
+        self.settings = settings or BreakerSettings()
+        self._window: Deque[bool] = deque(maxlen=self.settings.window)
+        self._state = STATE_CLOSED
+        self._opened_at_ms = 0.0
+        self._cooldown_ms = self.settings.cooldown_ms
+        self._probe_in_flight = False
+        #: times the breaker tripped closed -> open or reopened after a
+        #: failed probe
+        self.trips = 0
+        #: half-open probe requests admitted
+        self.probes = 0
+        #: requests rejected while open (or while a probe was in flight)
+        self.rejections = 0
+        self.successes = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The *recorded* state; ``allow`` transitions open -> half-open
+        lazily when the cooldown has elapsed."""
+        return self._state
+
+    @property
+    def cooldown_ms(self) -> float:
+        """Current reopen cooldown (doubles per failed probe)."""
+        return self._cooldown_ms
+
+    def reopen_at_ms(self) -> float | None:
+        """Virtual time the next half-open probe becomes admissible, or
+        ``None`` unless the breaker is open."""
+        if self._state != STATE_OPEN:
+            return None
+        return self._opened_at_ms + self._cooldown_ms
+
+    def peek(self, now_ms: float) -> bool:
+        """Would ``allow`` admit at ``now_ms``?  Non-mutating: no state
+        transition, no probe claimed, no rejection counted — for
+        callers gating side-channel work (feedback writes) that must
+        not consume the half-open probe."""
+        if self._state == STATE_CLOSED:
+            return True
+        if self._state == STATE_OPEN:
+            return now_ms - self._opened_at_ms >= self._cooldown_ms
+        return not self._probe_in_flight
+
+    def rebase(self, now_ms: float) -> None:
+        """Clamp the open-state anchor for a clock that restarted (a
+        plane shared across fleet epochs: each epoch's virtual clock
+        begins at zero again).  An open breaker's cooldown restarts at
+        ``now_ms``; closed/half-open states carry over unchanged."""
+        if self._state == STATE_OPEN:
+            self._opened_at_ms = min(self._opened_at_ms, now_ms)
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def allow(self, now_ms: float) -> bool:
+        """May the tier be consulted at ``now_ms``?
+
+        Closed always admits.  Open rejects until the cooldown elapses,
+        then flips half-open and admits exactly one probe; while that
+        probe's outcome is unrecorded, everything else is rejected.
+        """
+        if self._state == STATE_CLOSED:
+            return True
+        if self._state == STATE_OPEN:
+            if now_ms - self._opened_at_ms < self._cooldown_ms:
+                self.rejections += 1
+                return False
+            self._state = STATE_HALF_OPEN
+            self._probe_in_flight = False
+        if self._probe_in_flight:
+            self.rejections += 1
+            return False
+        self._probe_in_flight = True
+        self.probes += 1
+        return True
+
+    def record(self, now_ms: float, ok: bool) -> None:
+        """Record the outcome of one admitted tier call."""
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+        if self._state == STATE_HALF_OPEN and self._probe_in_flight:
+            self._probe_in_flight = False
+            if ok:
+                self._state = STATE_CLOSED
+                self._window.clear()
+                self._cooldown_ms = self.settings.cooldown_ms
+            else:
+                self._reopen(now_ms, escalate=True)
+            return
+        if self._state != STATE_CLOSED:
+            # an outcome from a call admitted before the trip; it may
+            # not flap the state machine
+            return
+        self._window.append(ok)
+        if self._window.count(False) >= self.settings.trip_failures:
+            self._reopen(now_ms, escalate=False)
+
+    def _reopen(self, now_ms: float, escalate: bool) -> None:
+        self._state = STATE_OPEN
+        self._opened_at_ms = now_ms
+        self.trips += 1
+        if escalate:
+            self._cooldown_ms = min(
+                self._cooldown_ms * self.settings.cooldown_backoff,
+                self.settings.max_cooldown_ms,
+            )
+        self._window.clear()

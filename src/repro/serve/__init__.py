@@ -26,6 +26,13 @@ see ``repro.cascade`` and ``docs/cascade.md``.  With ``PERCIVAL_DIFF``
 on, a :class:`~repro.diff.FrameDiffer` (``differ=``) answers revisited
 frames from per-session page snapshots before anything else runs — see
 ``repro.diff`` and ``docs/diffing.md``.
+
+With ``PERCIVAL_CHAOS`` set, both drivers replay a seeded
+:class:`~repro.resilience.ChaosSchedule` (``chaos=``) against the
+stack, and the :class:`~repro.resilience.ResiliencePlane`
+(``resilience=`` / ``PERCIVAL_RESILIENCE``) puts circuit breakers and
+the graceful-degradation ladder in front of every tier — see
+``repro.resilience`` and ``docs/resilience.md``.
 """
 
 from repro.cascade.provenance import FrameProvenance
@@ -38,6 +45,12 @@ from repro.core.config import (
     configured_serve_settings,
 )
 from repro.diff.differ import DiffStats, FrameDiffer, resolve_differ
+from repro.resilience import (
+    ChaosSchedule,
+    ResiliencePlane,
+    resolve_chaos,
+    resolve_resilience,
+)
 from repro.serve.loop import (
     ArrivalEvent,
     AsyncServeFront,
@@ -74,6 +87,7 @@ __all__ = [
     "BatchQueue",
     "CascadeRouter",
     "CascadeStats",
+    "ChaosSchedule",
     "DiffStats",
     "FleetReport",
     "FleetSimulator",
@@ -84,6 +98,7 @@ __all__ = [
     "PRIORITY_BELOW_FOLD",
     "PRIORITY_VIEWPORT",
     "RenderServeBridge",
+    "ResiliencePlane",
     "SLOPolicy",
     "ServeClosedError",
     "ServeLoop",
@@ -99,6 +114,8 @@ __all__ = [
     "configured_serve_lanes",
     "configured_serve_settings",
     "resolve_cascade",
+    "resolve_chaos",
     "resolve_differ",
+    "resolve_resilience",
     "synthesize_traffic",
 ]

@@ -155,6 +155,11 @@ class EpochReport:
     #: lane count the policy chose for the NEXT epoch
     next_lanes: int
     report: ServeReport
+    #: degradation-ladder level at the end of the epoch ("" when the
+    #: resilience plane is off)
+    brownout_level: str = ""
+    #: ladder transitions (down and up) recorded during this epoch
+    ladder_transitions: int = 0
 
 
 @dataclass
@@ -216,6 +221,15 @@ class FleetReport:
             f"peak p99={self.peak_p99_ms:.2f} ms "
             f"(target {self.policy.p99_target_ms:.0f} ms)"
         )
+        ladder = sum(e.ladder_transitions for e in self.epochs)
+        if ladder or any(e.brownout_level for e in self.epochs):
+            levels = " ".join(
+                e.brownout_level or "normal" for e in self.epochs
+            )
+            footer += (
+                f"\nbrownout: {ladder} ladder transitions;"
+                f" per-epoch levels: {levels}"
+            )
         return f"{title}\n{table}\n{footer}"
 
 
@@ -237,9 +251,12 @@ class FleetSimulator:
         compute_model: Optional[Callable[[int], float]] = None,
         initial_lanes: int = 1,
         cascade: "object | None | bool" = None,
+        chaos: "object | None | bool" = None,
+        resilience: "object | None | bool" = None,
     ) -> None:
         # leaf import: only the fleet constructor resolves the knob
         from repro.cascade.router import resolve_cascade
+        from repro.resilience import resolve_chaos, resolve_resilience
 
         if initial_lanes < 1:
             raise ValueError("initial_lanes must be >= 1")
@@ -252,6 +269,17 @@ class FleetSimulator:
         #: compiled rule cache (and its quarantine) persists across the
         #: whole simulated day — rules learned at dawn serve the peak
         self.cascade = resolve_cascade(cascade, blocker.classifier.config)
+        #: the same seeded schedule replays inside every epoch (each
+        #: epoch's run walks it with a fresh cursor over its own clock)
+        self.chaos = resolve_chaos(chaos, blocker.classifier.config)
+        #: one plane shared across the day, like the cascade's rule
+        #: cache: breakers tripped at the peak stay tripped into the
+        #: next epoch, and the dwell ledger spans the whole replay
+        self.resilience = resolve_resilience(
+            resilience,
+            blocker.classifier.config,
+            chaos_active=self.chaos is not None,
+        )
 
     def run(self, spec: Optional[FleetSpec] = None) -> FleetReport:
         spec = spec or FleetSpec()
@@ -268,6 +296,11 @@ class FleetSimulator:
                 traffic = replace(traffic, provenance=True)
             events = synthesize_traffic(traffic)
             self._resize_pool(lanes)
+            transitions_before = (
+                len(self.resilience.controller.transitions)
+                if self.resilience is not None
+                else 0
+            )
             loop = ServeLoop(
                 self.blocker,
                 # pin the epoch's lane count: the policy, not the
@@ -277,6 +310,8 @@ class FleetSimulator:
                 # `or False`: a resolved None must stay off inside the
                 # epoch loop even if the environment knob flips mid-run
                 cascade=self.cascade or False,
+                chaos=self.chaos or False,
+                resilience=self.resilience or False,
             )
             report = loop.run(events)
             stats = report.stats
@@ -295,6 +330,17 @@ class FleetSimulator:
                     makespan_ms=report.makespan_ms,
                     next_lanes=next_lanes,
                     report=report,
+                    brownout_level=(
+                        self.resilience.controller.level_name
+                        if self.resilience is not None
+                        else ""
+                    ),
+                    ladder_transitions=(
+                        len(self.resilience.controller.transitions)
+                        - transitions_before
+                        if self.resilience is not None
+                        else 0
+                    ),
                 )
             )
             lanes = next_lanes

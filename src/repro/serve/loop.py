@@ -51,6 +51,19 @@ Admission control is explicit: a full queue sheds the request — the
 simulator records it, the asyncio front raises
 :class:`ServeOverloadError` — so overload degrades visibly instead of
 growing an unbounded queue.
+
+Both drivers also host the **resilience plane**
+(:mod:`repro.resilience`): a seeded chaos schedule (``chaos=`` / the
+``PERCIVAL_CHAOS`` knob) injects worker death, tier outages, and
+latency spikes at planned virtual ticks; per-tier circuit breakers
+stop consulting a failing tier; and the SLO-driven degradation ladder
+browns features out (wider deadlines → no diff → no cascade → drop
+below-fold → shed) before shedding everything.  The standing invariant
+is the same one the speed tiers obey: a fault moves *where or whether*
+work happens, never the value of a served P(ad), and the conservation
+ledger (submitted = answered + shed + failed) balances under every
+schedule.  With chaos and resilience off (the default) nothing
+changes, bit for bit.
 """
 
 from __future__ import annotations
@@ -72,6 +85,13 @@ from repro.core.config import (
 )
 from repro.diff.differ import FrameDiffer, resolve_differ
 from repro.diff.snapshot import RegionRecord
+from repro.resilience.chaos import (
+    ChaosCursor,
+    ChaosInjectedError,
+    ChaosSchedule,
+    resolve_chaos,
+)
+from repro.resilience.plane import ResiliencePlane, resolve_resilience
 from repro.serve.metrics import ServeStats
 from repro.serve.queue import PRIORITY_VIEWPORT, BatchQueue, ServeRequest
 from repro.utils.clock import VirtualClock
@@ -137,6 +157,9 @@ class ServeResult:
     priority: int = PRIORITY_VIEWPORT
     decision: Optional[BlockDecision] = None
     shed: bool = False
+    #: the request's batch was popped but its classification raised:
+    #: settled exactly once with an explicit error, never silently lost
+    failed: bool = False
     memo_hit: bool = False
     #: answered by the session's page snapshot (diff tier): the stored
     #: verdict settled the request before fingerprinting — ``key`` is
@@ -177,11 +200,15 @@ class ServeReport:
 
     @property
     def answered(self) -> List[ServeResult]:
-        return [r for r in self.results if not r.shed]
+        return [r for r in self.results if not r.shed and not r.failed]
 
     @property
     def shed(self) -> List[ServeResult]:
         return [r for r in self.results if r.shed]
+
+    @property
+    def failed(self) -> List[ServeResult]:
+        return [r for r in self.results if r.failed]
 
 
 class BatchComputeModel:
@@ -289,6 +316,77 @@ def _diff_remember(
     )
 
 
+def _tier_available(
+    plane: Optional[ResiliencePlane],
+    cursor: Optional[ChaosCursor],
+    tier: str,
+    now_ms: float,
+    mutate: bool = True,
+) -> bool:
+    """Is speed tier ``tier`` consultable at ``now_ms``?
+
+    Three gates, in order: a chaos outage window over the tier, the
+    degradation ladder's brownout flags, and the tier's circuit
+    breaker.  ``mutate=False`` uses the breaker's non-mutating ``peek``
+    — feedback writes must not consume the half-open probe that the
+    serve path needs to heal the breaker.  With no plane and no cursor
+    every tier is available: the pre-resilience path, bit for bit.
+    """
+    if cursor is not None and cursor.tier_out(tier, now_ms):
+        return False
+    if plane is not None:
+        controller = plane.controller
+        if tier == "diff" and controller.diff_disabled:
+            return False
+        if tier == "cascade" and controller.cascade_disabled:
+            return False
+        breaker = plane.breakers.get(tier)
+        if breaker is not None:
+            return breaker.allow(now_ms) if mutate else breaker.peek(now_ms)
+    return True
+
+
+def _record_tier(
+    plane: Optional[ResiliencePlane], tier: str, now_ms: float, ok: bool
+) -> None:
+    """Feed one admitted tier call's outcome to its breaker; a trip is
+    also a pressure signal for the degradation ladder."""
+    if plane is None:
+        return
+    breaker = plane.breakers.get(tier)
+    if breaker is None:
+        return
+    before = breaker.trips
+    breaker.record(now_ms, ok)
+    if breaker.trips > before:
+        plane.controller.observe_pressure(f"{tier} breaker tripped")
+
+
+def _absorb_tier_error(
+    stats: ServeStats, plane: Optional[ResiliencePlane]
+) -> None:
+    """Count one absorbed tier failure on the run's ledger (and the
+    plane's cumulative one, when attached)."""
+    stats.tier_errors += 1
+    if plane is not None:
+        plane.tier_errors += 1
+
+
+def _guarded_feedback(
+    stats: ServeStats,
+    plane: Optional[ResiliencePlane],
+    fn: Callable[[], None],
+) -> None:
+    """Run one tier feedback write (diff remember / cascade feed) with
+    the request already settled.  Feedback is an optimization for
+    *future* requests — a raising write is absorbed and counted, never
+    allowed to orphan the settled request or take the flush down."""
+    try:
+        fn()
+    except Exception:
+        _absorb_tier_error(stats, plane)
+
+
 class ServeLoop:
     """Deterministic micro-batching simulator over a virtual clock.
 
@@ -310,6 +408,8 @@ class ServeLoop:
         compute_model: Optional[Callable[[int], float]] = None,
         cascade: "CascadeRouter | None | bool" = None,
         differ: "FrameDiffer | None | bool" = None,
+        chaos: "ChaosSchedule | None | bool" = None,
+        resilience: "ResiliencePlane | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
@@ -324,6 +424,17 @@ class ServeLoop:
         #: per-session snapshot/diff layer in front of everything; None
         #: = off (auto-resolved from PERCIVAL_DIFF when unspecified)
         self.differ = resolve_differ(differ, blocker.classifier.config)
+        #: seeded fault-injection schedule; None = off (auto-resolved
+        #: from PERCIVAL_CHAOS when unspecified)
+        self.chaos = resolve_chaos(chaos, blocker.classifier.config)
+        #: breakers + degradation ladder; None = off (auto-resolved
+        #: from PERCIVAL_RESILIENCE, and implied by an active chaos
+        #: schedule, when unspecified)
+        self.resilience = resolve_resilience(
+            resilience,
+            blocker.classifier.config,
+            chaos_active=self.chaos is not None,
+        )
 
     def resolved_lanes(self) -> int:
         """The lane count this loop will simulate with.
@@ -362,6 +473,13 @@ class ServeLoop:
             stats.cascade = self.cascade.stats
         if self.differ is not None:
             stats.diff = self.differ.stats
+        cursor = self.chaos.cursor() if self.chaos is not None else None
+        plane = self.resilience
+        controller = None
+        if plane is not None:
+            stats.resilience = plane
+            plane.rebase(0.0)
+            controller = plane.controller
         results: List[ServeResult] = []
         pending: Dict[str, ServeRequest] = {}
         #: which ServeResult belongs to each queued request (leaders
@@ -374,13 +492,20 @@ class ServeLoop:
 
         while True:
             now = clock.now_ms
+            if cursor is not None:
+                fired = cursor.fire_due(now, pool=self.blocker.pool)
+                if fired and plane is not None:
+                    plane.note_chaos(fired)
+            if controller is not None:
+                controller.evaluate(now)
+                queue.deadline_scale = controller.deadline_scale
             free_lane = self._lowest_free_lane(lane_free, now)
             if free_lane is not None:
                 batch = queue.pop_batch(now)
                 if batch is not None:
                     lane_free[free_lane] = self._flush(
                         batch, now, free_lane,
-                        pending, open_results, stats,
+                        pending, open_results, stats, cursor,
                     )
                     continue
             arrival = events[index].at_ms if index < len(events) else None
@@ -397,7 +522,16 @@ class ServeLoop:
                 if t is not None
             ]
             if not candidates:
+                # chaos events past the last unit of work never fire:
+                # an empty system has nothing left to perturb
                 break
+            if cursor is not None:
+                # planned chaos ticks join the discrete-event schedule
+                # so outage windows open/close and faults arm at their
+                # scheduled virtual times, not at the next convenient one
+                chaos_at = cursor.next_at_ms()
+                if chaos_at is not None:
+                    candidates.append(chaos_at)
             next_time = min(candidates)
             clock.advance_to(next_time)
             if arrival is not None and next_time >= arrival:
@@ -407,10 +541,12 @@ class ServeLoop:
                 results.append(
                     self._admit(
                         event, next_id, clock.now_ms,
-                        queue, pending, open_results, stats,
+                        queue, pending, open_results, stats, cursor,
                     )
                 )
 
+        if controller is not None:
+            controller.finalize(clock.now_ms)
         return ServeReport(
             results=results, stats=stats, makespan_ms=clock.now_ms
         )
@@ -436,12 +572,57 @@ class ServeLoop:
         pending: Dict[str, ServeRequest],
         open_results: Dict[int, ServeResult],
         stats: ServeStats,
+        cursor: Optional[ChaosCursor] = None,
     ) -> ServeResult:
         stats.submitted += 1
-        recalled = _diff_recall(
-            self.differ, event.session_id, event.provenance,
-            event.content_key,
-        )
+        plane = self.resilience
+        controller = plane.controller if plane is not None else None
+        protected = plane is not None or cursor is not None
+        if (
+            controller is not None
+            and controller.drop_below_fold
+            and event.priority > PRIORITY_VIEWPORT
+        ):
+            # ladder level 4+: below-the-fold frames are shed at
+            # admission — nothing visible is waiting on them, and the
+            # shed is an explicit ledger entry, not a silent drop
+            result = ServeResult(
+                request_id=request_id,
+                session_id=event.session_id,
+                key="",
+                arrival_ms=now_ms,
+                priority=event.priority,
+            )
+            result.shed = True
+            result.flush_ms = result.complete_ms = now_ms
+            stats.shed += 1
+            plane.degraded_sheds += 1
+            return result
+        recalled = None
+        if self.differ is not None and _tier_available(
+            plane, cursor, "diff", now_ms
+        ):
+            if not protected:
+                recalled = _diff_recall(
+                    self.differ, event.session_id, event.provenance,
+                    event.content_key,
+                )
+            else:
+                try:
+                    if cursor is not None and cursor.take_tier_error("diff"):
+                        raise ChaosInjectedError(
+                            "injected diff recall failure"
+                        )
+                    recalled = _diff_recall(
+                        self.differ, event.session_id, event.provenance,
+                        event.content_key,
+                    )
+                except Exception:
+                    recalled = None
+                    _absorb_tier_error(stats, plane)
+                    _record_tier(plane, "diff", now_ms, False)
+                else:
+                    _record_tier(plane, "diff", now_ms, True)
         if recalled is not None:
             # tier -1: the session's page snapshot — an unchanged
             # region inherits its stored verdict before the bitmap is
@@ -469,8 +650,27 @@ class ServeLoop:
             priority=event.priority,
         )
         audit = None
-        if self.cascade is not None:
-            routed = self.cascade.route(event.provenance)
+        if self.cascade is not None and _tier_available(
+            plane, cursor, "cascade", now_ms
+        ):
+            routed = None
+            if not protected:
+                routed = self.cascade.route(event.provenance)
+            else:
+                try:
+                    if cursor is not None and cursor.take_tier_error(
+                        "cascade"
+                    ):
+                        raise ChaosInjectedError(
+                            "injected cascade route failure"
+                        )
+                    routed = self.cascade.route(event.provenance)
+                except Exception:
+                    routed = None
+                    _absorb_tier_error(stats, plane)
+                    _record_tier(plane, "cascade", now_ms, False)
+                else:
+                    _record_tier(plane, "cascade", now_ms, True)
             if isinstance(routed, CascadeHit):
                 # tier 0: cascade rule — answered at arrival, never
                 # consuming a memo probe, a batch slot, or lane time
@@ -483,7 +683,16 @@ class ServeLoop:
                 self._record_latency(stats, result)
                 return result
             audit = routed
-        cached = self.blocker.memoized_decision(key=key)
+        memo_live = cursor is None or not cursor.tier_out("memo", now_ms)
+        if memo_live and cursor is not None and cursor.take_tier_error(
+            "memo"
+        ):
+            # a memo probe is a dict lookup with no real failure mode;
+            # an injected memo error degrades to a one-shot miss
+            memo_live = False
+        cached = (
+            self.blocker.memoized_decision(key=key) if memo_live else None
+        )
         if cached is not None:
             # tier 1: shared memo — answered instantly, no queue entry
             result.decision = cached
@@ -492,15 +701,41 @@ class ServeLoop:
             stats.memo_hits += 1
             stats.answered += 1
             self._record_latency(stats, result)
-            if self.cascade is not None:
-                if audit is not None:
-                    self.cascade.reconcile(audit, cached.is_ad)
+            if self.cascade is not None and _tier_available(
+                plane, cursor, "cascade", now_ms, mutate=False
+            ):
+                def feed_cascade() -> None:
+                    if audit is not None:
+                        self.cascade.reconcile(audit, cached.is_ad)
+                    else:
+                        self.cascade.absorb(event.provenance, cached)
+
+                if protected:
+                    _guarded_feedback(stats, plane, feed_cascade)
                 else:
-                    self.cascade.absorb(event.provenance, cached)
-            _diff_remember(
-                self.differ, event.session_id, event.provenance,
-                event.content_key, cached,
-            )
+                    feed_cascade()
+            if self.differ is not None and _tier_available(
+                plane, cursor, "diff", now_ms, mutate=False
+            ):
+                def feed_diff() -> None:
+                    _diff_remember(
+                        self.differ, event.session_id, event.provenance,
+                        event.content_key, cached,
+                    )
+
+                if protected:
+                    _guarded_feedback(stats, plane, feed_diff)
+                else:
+                    feed_diff()
+            return result
+        if controller is not None and controller.shed_all:
+            # ladder level 5: the compute path is browned out entirely
+            # — every queue-bound request sheds (the cheap tiers above
+            # already had their chance to answer it)
+            result.shed = True
+            result.flush_ms = result.complete_ms = now_ms
+            stats.shed += 1
+            plane.degraded_sheds += 1
             return result
         request = ServeRequest(
             request_id=request_id,
@@ -525,6 +760,8 @@ class ServeLoop:
             result.shed = True
             result.flush_ms = result.complete_ms = now_ms
             stats.shed += 1
+            if controller is not None:
+                controller.observe_pressure("queue overflow shed")
             return result
         pending[key] = request
         open_results[request_id] = result
@@ -538,15 +775,78 @@ class ServeLoop:
         pending: Dict[str, ServeRequest],
         open_results: Dict[int, ServeResult],
         stats: ServeStats,
+        cursor: Optional[ChaosCursor] = None,
     ) -> float:
         """Dispatch one batch on the free compute lane ``lane``;
         returns the virtual time that lane frees up again."""
+        plane = self.resilience
+        controller = plane.controller if plane is not None else None
+        protected = plane is not None or cursor is not None
         bitmaps = [request.bitmap for request in batch]
         keys = [request.key for request in batch]
-        capacity = _pool_capacity(self.blocker.pool)
-        decisions = self.blocker.decide_many(bitmaps, keys=keys)
+        pool = self.blocker.pool
+        capacity = _pool_capacity(pool)
+        # the pool breaker is consulted only when this flush would
+        # actually dispatch to the pool; an open breaker detaches the
+        # pool for exactly this decide_many, forcing the in-process
+        # path (bit-identical verdicts — batch composition invariance)
+        pool_eligible = (
+            pool is not None
+            and not getattr(pool, "closed", False)
+            and len(batch) >= self.blocker.shard_min_batch
+        )
+        bypass_pool = False
+        if plane is not None and pool_eligible:
+            bypass_pool = not plane.breakers["pool"].allow(now_ms)
+        fallbacks_before = getattr(self.blocker, "pool_fallbacks", 0)
+        if bypass_pool:
+            self.blocker.pool = None
+            plane.pool_bypassed += 1
+        try:
+            decisions = self.blocker.decide_many(bitmaps, keys=keys)
+        except Exception:
+            if not protected:
+                raise
+            # explicit failed batch: every member and rider settles
+            # exactly once with failed=True, the lane frees at once,
+            # and the conservation ledger stays balanced
+            if pool_eligible and not bypass_pool:
+                _record_tier(plane, "pool", now_ms, False)
+            if plane is not None:
+                plane.failed_batches += 1
+            if controller is not None:
+                controller.observe_pressure("batch classification failed")
+            for request in batch:
+                pending.pop(request.key, None)
+                for settled in (request, *request.coalesced):
+                    result = open_results.pop(settled.request_id)
+                    result.failed = True
+                    result.flush_ms = result.complete_ms = now_ms
+                    result.lane = lane
+                    stats.failed += 1
+            return now_ms
+        finally:
+            if bypass_pool:
+                self.blocker.pool = pool
+        if pool_eligible and not bypass_pool:
+            # the blocker heals a pool failure silently (in-process
+            # fallback); the fallback counter is the breaker's only
+            # window into whether the pool actually dispatched
+            _record_tier(
+                plane, "pool", now_ms,
+                getattr(self.blocker, "pool_fallbacks", 0)
+                == fallbacks_before,
+            )
         cost_ms = float(self.compute_model(len(batch)))
+        if cursor is not None:
+            cost_ms *= cursor.latency_multiplier(now_ms)
         complete_ms = now_ms + cost_ms
+        diff_ok = self.differ is not None and _tier_available(
+            plane, cursor, "diff", now_ms, mutate=False
+        )
+        cascade_ok = self.cascade is not None and _tier_available(
+            plane, cursor, "cascade", now_ms, mutate=False
+        )
         for request, decision in zip(batch, decisions):
             pending.pop(request.key, None)
             group = (request, *request.coalesced)
@@ -558,16 +858,35 @@ class ServeLoop:
                 result.lane = lane
                 stats.answered += 1
                 self._record_latency(stats, result)
+                if controller is not None:
+                    controller.observe_latency(result.latency_ms)
+            # feedback runs only after every member of the group is
+            # settled, so a raising tier write cannot orphan a rider
+            if diff_ok:
                 # every settled request refreshes its own session's
                 # snapshot — riders belong to other sessions/pages
-                _diff_remember(
-                    self.differ, settled.session_id, settled.provenance,
-                    settled.content_key, decision,
-                )
-            if self.cascade is not None:
+                for settled in group:
+                    def feed_diff(settled: ServeRequest = settled) -> None:
+                        _diff_remember(
+                            self.differ, settled.session_id,
+                            settled.provenance, settled.content_key,
+                            decision,
+                        )
+
+                    if protected:
+                        _guarded_feedback(stats, plane, feed_diff)
+                    else:
+                        feed_diff()
+            if cascade_ok:
                 # one computed verdict -> one healer observation,
                 # regardless of how many riders share the batch slot
-                _feed_cascade_once(self.cascade, group, decision)
+                def feed_cascade() -> None:
+                    _feed_cascade_once(self.cascade, group, decision)
+
+                if protected:
+                    _guarded_feedback(stats, plane, feed_cascade)
+                else:
+                    feed_cascade()
         stats.batches += 1
         stats.batched_requests += len(batch)
         stats.capacity_samples.append(capacity)
@@ -616,17 +935,33 @@ class AsyncServeFront:
         use_executor: bool = False,
         cascade: "CascadeRouter | None | bool" = None,
         differ: "FrameDiffer | None | bool" = None,
+        chaos: "ChaosSchedule | None | bool" = None,
+        resilience: "ResiliencePlane | None | bool" = None,
     ) -> None:
         self.blocker = blocker
         self.settings = configured_serve_settings(settings)
         self.use_executor = use_executor
         self.cascade = resolve_cascade(cascade, blocker.classifier.config)
         self.differ = resolve_differ(differ, blocker.classifier.config)
+        #: chaos here runs on the front's real-millisecond clock; the
+        #: invariant it exercises is value-independence (every resolved
+        #: future's P(ad) is fault-free-identical), not replay timing
+        self.chaos = resolve_chaos(chaos, blocker.classifier.config)
+        self.resilience = resolve_resilience(
+            resilience,
+            blocker.classifier.config,
+            chaos_active=self.chaos is not None,
+        )
+        self._chaos_cursor = (
+            self.chaos.cursor() if self.chaos is not None else None
+        )
         self.stats = ServeStats()
         if self.cascade is not None:
             self.stats.cascade = self.cascade.stats
         if self.differ is not None:
             self.stats.diff = self.differ.stats
+        if self.resilience is not None:
+            self.stats.resilience = self.resilience
         self._queue = BatchQueue(self.settings)
         self._pending: Dict[str, ServeRequest] = {}
         self._waiters: Dict[int, "asyncio.Future[BlockDecision]"] = {}
@@ -657,18 +992,81 @@ class AsyncServeFront:
             )
         loop = asyncio.get_running_loop()
         now_ms = self._now_ms(loop)
+        plane = self.resilience
+        cursor = self._chaos_cursor
+        controller = plane.controller if plane is not None else None
+        protected = plane is not None or cursor is not None
+        if cursor is not None:
+            fired = cursor.fire_due(now_ms, pool=self.blocker.pool)
+            if fired and plane is not None:
+                plane.note_chaos(fired)
+        if controller is not None:
+            controller.evaluate(now_ms)
+            self._queue.deadline_scale = controller.deadline_scale
         self.stats.submitted += 1
-        recalled = _diff_recall(
-            self.differ, session_id, provenance, content_key
-        )
+        if controller is not None and (
+            controller.shed_all
+            or (
+                controller.drop_below_fold
+                and priority > PRIORITY_VIEWPORT
+            )
+        ):
+            self.stats.shed += 1
+            plane.degraded_sheds += 1
+            raise ServeOverloadError(
+                f"request shed at brownout level"
+                f" '{controller.level_name}'"
+            )
+        recalled = None
+        if self.differ is not None and _tier_available(
+            plane, cursor, "diff", now_ms
+        ):
+            if not protected:
+                recalled = _diff_recall(
+                    self.differ, session_id, provenance, content_key
+                )
+            else:
+                try:
+                    if cursor is not None and cursor.take_tier_error("diff"):
+                        raise ChaosInjectedError(
+                            "injected diff recall failure"
+                        )
+                    recalled = _diff_recall(
+                        self.differ, session_id, provenance, content_key
+                    )
+                except Exception:
+                    recalled = None
+                    _absorb_tier_error(self.stats, plane)
+                    _record_tier(plane, "diff", now_ms, False)
+                else:
+                    _record_tier(plane, "diff", now_ms, True)
         if recalled is not None:
             self.stats.diff_hits += 1
             self.stats.answered += 1
             self._record(now_ms, now_ms, now_ms, priority)
             return recalled
         audit = None
-        if self.cascade is not None:
-            routed = self.cascade.route(provenance)
+        if self.cascade is not None and _tier_available(
+            plane, cursor, "cascade", now_ms
+        ):
+            routed = None
+            if not protected:
+                routed = self.cascade.route(provenance)
+            else:
+                try:
+                    if cursor is not None and cursor.take_tier_error(
+                        "cascade"
+                    ):
+                        raise ChaosInjectedError(
+                            "injected cascade route failure"
+                        )
+                    routed = self.cascade.route(provenance)
+                except Exception:
+                    routed = None
+                    _absorb_tier_error(self.stats, plane)
+                    _record_tier(plane, "cascade", now_ms, False)
+                else:
+                    _record_tier(plane, "cascade", now_ms, True)
             if isinstance(routed, CascadeHit):
                 self.stats.rule_hits += 1
                 self.stats.answered += 1
@@ -676,19 +1074,45 @@ class AsyncServeFront:
                 return routed.decision
             audit = routed
         key = self.blocker.fingerprint(bitmap)
-        cached = self.blocker.memoized_decision(key=key)
+        memo_live = cursor is None or not cursor.tier_out("memo", now_ms)
+        if memo_live and cursor is not None and cursor.take_tier_error(
+            "memo"
+        ):
+            # injected memo error degrades to a one-shot miss
+            memo_live = False
+        cached = (
+            self.blocker.memoized_decision(key=key) if memo_live else None
+        )
         if cached is not None:
             self.stats.memo_hits += 1
             self.stats.answered += 1
             self._record(now_ms, now_ms, now_ms, priority)
-            if self.cascade is not None:
-                if audit is not None:
-                    self.cascade.reconcile(audit, cached.is_ad)
+            if self.cascade is not None and _tier_available(
+                plane, cursor, "cascade", now_ms, mutate=False
+            ):
+                def feed_cascade() -> None:
+                    if audit is not None:
+                        self.cascade.reconcile(audit, cached.is_ad)
+                    else:
+                        self.cascade.absorb(provenance, cached)
+
+                if protected:
+                    _guarded_feedback(self.stats, plane, feed_cascade)
                 else:
-                    self.cascade.absorb(provenance, cached)
-            _diff_remember(
-                self.differ, session_id, provenance, content_key, cached
-            )
+                    feed_cascade()
+            if self.differ is not None and _tier_available(
+                plane, cursor, "diff", now_ms, mutate=False
+            ):
+                def feed_diff() -> None:
+                    _diff_remember(
+                        self.differ, session_id, provenance,
+                        content_key, cached,
+                    )
+
+                if protected:
+                    _guarded_feedback(self.stats, plane, feed_diff)
+                else:
+                    feed_diff()
             return cached
         self._next_id += 1
         request = ServeRequest(
@@ -710,6 +1134,8 @@ class AsyncServeFront:
         else:
             if not self._queue.offer(request, now_ms):
                 self.stats.shed += 1
+                if controller is not None:
+                    controller.observe_pressure("queue overflow shed")
                 raise ServeOverloadError(
                     f"queue depth {self._queue.depth} at its bound "
                     f"({self.settings.max_depth}); request shed"
@@ -774,9 +1200,14 @@ class AsyncServeFront:
 
     def _on_deadline(self, loop: asyncio.AbstractEventLoop) -> None:
         self._timer = None
-        if self._queue.due(self._now_ms(loop)):
-            self._start_flush(loop)
-        self._arm_timer(loop)
+        try:
+            if self._queue.due(self._now_ms(loop)):
+                self._start_flush(loop)
+        finally:
+            # whatever the flush did, requests still queued must keep
+            # a live deadline timer — an unarmed partial batch would
+            # wait forever
+            self._arm_timer(loop)
 
     def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
         if self._flush_handle is None:
@@ -805,6 +1236,49 @@ class AsyncServeFront:
         if self._timer is None and self._queue.depth:
             self._arm_timer(loop)
 
+    def _pool_gate(
+        self, batch: List[ServeRequest], flush_ms: float
+    ) -> tuple:
+        """Consult the pool breaker for one flush.  Returns ``(pool,
+        pool_eligible, bypass, fallbacks_before)``; when ``bypass`` the
+        pool is already detached (caller restores it in a finally) so
+        exactly this flush computes in-process — bit-identical verdicts
+        by batch-composition invariance."""
+        plane = self.resilience
+        pool = self.blocker.pool
+        pool_eligible = (
+            pool is not None
+            and not getattr(pool, "closed", False)
+            and len(batch) >= self.blocker.shard_min_batch
+        )
+        bypass = False
+        if plane is not None and pool_eligible:
+            bypass = not plane.breakers["pool"].allow(flush_ms)
+        fallbacks_before = getattr(self.blocker, "pool_fallbacks", 0)
+        if bypass:
+            self.blocker.pool = None
+            plane.pool_bypassed += 1
+        return pool, pool_eligible, bypass, fallbacks_before
+
+    def _pool_outcome(
+        self,
+        flush_ms: float,
+        pool_eligible: bool,
+        bypass: bool,
+        fallbacks_before: int,
+        ok: bool = True,
+    ) -> None:
+        """Feed the flush's dispatch outcome to the pool breaker (the
+        blocker heals pool failures silently — the fallback counter is
+        the breaker's only window into them)."""
+        if pool_eligible and not bypass:
+            _record_tier(
+                self.resilience, "pool", flush_ms,
+                ok
+                and getattr(self.blocker, "pool_fallbacks", 0)
+                == fallbacks_before,
+            )
+
     def _flush_sync(
         self, loop: asyncio.AbstractEventLoop, force: bool = False
     ) -> None:
@@ -816,14 +1290,31 @@ class AsyncServeFront:
             bitmaps = [request.bitmap for request in batch]
             keys = [request.key for request in batch]
             capacity = _pool_capacity(self.blocker.pool)
+            pool, eligible, bypass, before = self._pool_gate(
+                batch, flush_ms
+            )
             try:
                 decisions = self.blocker.decide_many(bitmaps, keys=keys)
             except Exception as exc:
+                self._pool_outcome(flush_ms, eligible, bypass, before,
+                                   ok=False)
                 self._settle_failure(batch, exc)
                 continue
-            self._settle_batch(
-                batch, decisions, flush_ms, self._now_ms(loop), capacity
-            )
+            finally:
+                if bypass:
+                    self.blocker.pool = pool
+            self._pool_outcome(flush_ms, eligible, bypass, before)
+            try:
+                self._settle_batch(
+                    batch, decisions, flush_ms, self._now_ms(loop),
+                    capacity,
+                )
+            except Exception as exc:
+                # backstop: _settle_batch resolves futures before any
+                # feedback, so reaching here means something settled
+                # partially — _settle_failure's pops are idempotent and
+                # finish the job exactly once
+                self._settle_failure(batch, exc)
         # re-arm for whatever is still queued (partial batch)
         if self._timer is None and self._queue.depth:
             self._arm_timer(loop)
@@ -838,17 +1329,30 @@ class AsyncServeFront:
         bitmaps = [request.bitmap for request in batch]
         keys = [request.key for request in batch]
         capacity = _pool_capacity(self.blocker.pool)
+        # the detach window spans this task's await; a concurrently
+        # interleaved flush would also compute in-process once, which
+        # only moves *where* its batch computes, never its verdicts
+        pool, eligible, bypass, before = self._pool_gate(batch, flush_ms)
         try:
             decisions = await loop.run_in_executor(
                 self._get_executor(),
                 lambda: self.blocker.decide_many(bitmaps, keys=keys),
             )
         except Exception as exc:
+            self._pool_outcome(flush_ms, eligible, bypass, before,
+                               ok=False)
             self._settle_failure(batch, exc)
             return
-        self._settle_batch(
-            batch, decisions, flush_ms, self._now_ms(loop), capacity
-        )
+        finally:
+            if bypass:
+                self.blocker.pool = pool
+        self._pool_outcome(flush_ms, eligible, bypass, before)
+        try:
+            self._settle_batch(
+                batch, decisions, flush_ms, self._now_ms(loop), capacity
+            )
+        except Exception as exc:
+            self._settle_failure(batch, exc)
 
     def _get_executor(self) -> concurrent.futures.ThreadPoolExecutor:
         if self._executor is None:
@@ -868,29 +1372,63 @@ class AsyncServeFront:
         complete_ms: float,
         capacity: int,
     ) -> None:
+        plane = self.resilience
+        cursor = self._chaos_cursor
+        controller = plane.controller if plane is not None else None
+        diff_ok = self.differ is not None and _tier_available(
+            plane, cursor, "diff", complete_ms, mutate=False
+        )
+        cascade_ok = self.cascade is not None and _tier_available(
+            plane, cursor, "cascade", complete_ms, mutate=False
+        )
+        # pass 1 — resolve every waiter (leaders and riders alike)
+        # before any tier feedback runs: a raising remember/feed can
+        # no longer orphan a coalesced rider's future
+        groups = []
         for request, decision in zip(batch, decisions):
             self._pending.pop(request.key, None)
             group = (request, *request.coalesced)
             for settled in group:
-                future = self._waiters.pop(settled.request_id)
-                arrival_ms = self._arrivals.pop(settled.request_id)
-                if not future.done():
+                future = self._waiters.pop(settled.request_id, None)
+                arrival_ms = self._arrivals.pop(
+                    settled.request_id, flush_ms
+                )
+                if future is not None and not future.done():
                     future.set_result(decision)
                 self.stats.answered += 1
                 self._record(
                     arrival_ms, flush_ms, complete_ms, settled.priority
                 )
-                _diff_remember(
-                    self.differ, settled.session_id, settled.provenance,
-                    settled.content_key, decision,
-                )
-            if self.cascade is not None:
+                if controller is not None:
+                    controller.observe_latency(complete_ms - arrival_ms)
+            groups.append((group, decision))
+        # pass 2 — tier feedback, each write guarded so one failing
+        # tier cannot take the flush (or the timer re-arm) down
+        for group, decision in groups:
+            if diff_ok:
+                for settled in group:
+                    _guarded_feedback(
+                        self.stats, plane,
+                        lambda settled=settled, decision=decision:
+                            _diff_remember(
+                                self.differ, settled.session_id,
+                                settled.provenance, settled.content_key,
+                                decision,
+                            ),
+                    )
+            if cascade_ok:
                 # one computed verdict -> one healer observation,
                 # regardless of how many riders share the batch slot
-                _feed_cascade_once(self.cascade, group, decision)
+                _guarded_feedback(
+                    self.stats, plane,
+                    lambda group=group, decision=decision:
+                        _feed_cascade_once(self.cascade, group, decision),
+                )
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
         self.stats.capacity_samples.append(capacity)
+        if controller is not None:
+            controller.evaluate(complete_ms)
 
     def _settle_failure(
         self, batch: List[ServeRequest], exc: Exception
@@ -898,12 +1436,19 @@ class AsyncServeFront:
         # the batch is already popped: its waiters must hear about the
         # failure, not hang, and its keys must leave _pending so later
         # duplicates are not coalesced onto a leader that no longer
-        # exists
+        # exists.  Pops tolerate absence so this doubles as the
+        # exactly-once backstop behind a partially-settled batch.
+        plane = self.resilience
+        if plane is not None:
+            plane.failed_batches += 1
+            plane.controller.observe_pressure("batch classification failed")
         for request in batch:
             self._pending.pop(request.key, None)
             for settled in (request, *request.coalesced):
-                future = self._waiters.pop(settled.request_id)
-                self._arrivals.pop(settled.request_id)
+                future = self._waiters.pop(settled.request_id, None)
+                self._arrivals.pop(settled.request_id, None)
+                if future is None:
+                    continue
                 if not future.done():
                     future.set_exception(exc)
                 self.stats.failed += 1

@@ -26,6 +26,7 @@ from repro.eval.reporting import format_table
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cascade.router import CascadeStats
     from repro.diff.differ import DiffStats
+    from repro.resilience.plane import ResiliencePlane
 
 
 class LatencySummary:
@@ -122,6 +123,12 @@ class ServeStats:
     #: differ-side accounting, attached when a run serves with the
     #: snapshot/diff layer enabled (None = diff off)
     diff: Optional["DiffStats"] = None
+    #: the live resilience plane (breakers + degradation ladder),
+    #: attached when a run serves with resilience enabled (None = off)
+    resilience: Optional["ResiliencePlane"] = None
+    #: tier calls (recall, route, feedback) that raised and were
+    #: absorbed instead of taking the request or the flush down
+    tier_errors: int = 0
 
     def record_queue_wait(self, priority: int, value_ms: float) -> None:
         """Attribute one queue-wait sample to its priority class."""
@@ -198,6 +205,33 @@ class ServeStats:
                 ("diff recalls (probe/hit)",
                  f"{self.diff.recalls} / {self.diff.recall_hits}"),
                 ("diff regions remembered", self.diff.remembered),
+            ])
+        if self.resilience is not None:
+            plane = self.resilience
+            controller = plane.controller
+            states = " / ".join(
+                f"{name}={state}"
+                for name, state in plane.breaker_states().items()
+            )
+            dwell = " / ".join(
+                f"{name}={controller.dwell_ms[name]:.1f}"
+                for name in controller.dwell_ms
+                if controller.dwell_ms[name] > 0.0
+            ) or "normal=0.0"
+            rows.extend([
+                ("brownout level", controller.level_name),
+                ("ladder transitions (down/up)",
+                 f"{sum(1 for t in controller.transitions if t.direction == 'down')}"
+                 f" / "
+                 f"{sum(1 for t in controller.transitions if t.direction == 'up')}"),
+                ("brownout dwell (ms)", dwell),
+                ("breaker states", states),
+                ("breaker trips", plane.breaker_trips()),
+                ("chaos events injected", plane.chaos_injected),
+                ("tier errors absorbed", self.tier_errors),
+                ("ladder sheds (of shed)", plane.degraded_sheds),
+                ("pool flushes bypassed (breaker)", plane.pool_bypassed),
+                ("failed batches", plane.failed_batches),
             ])
         table = format_table(("metric", "value"), rows)
         return f"{title}\n{table}"

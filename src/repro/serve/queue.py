@@ -105,6 +105,11 @@ class BatchQueue:
         self.accepted_count = 0
         #: requests handed out in popped batches
         self.flushed_count = 0
+        #: multiplier on ``max_wait_ms`` for deadline purposes — the
+        #: degradation ladder's "widen-deadlines" brownout level sets
+        #: this above 1.0 to trade queue wait for batch amortization;
+        #: 1.0 (the default) is byte-identical to the pre-ladder queue
+        self.deadline_scale = 1.0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,7 +127,7 @@ class BatchQueue:
         oldest = self._oldest_arrival_ms()
         if oldest is None:
             return None
-        return oldest + self.settings.max_wait_ms
+        return oldest + self.settings.max_wait_ms * self.deadline_scale
 
     def due(self, now_ms: float) -> bool:
         """True when a batch must flush now: a full ``max_batch`` is
@@ -131,7 +136,11 @@ class BatchQueue:
             return False
         if self._depth >= self.settings.max_batch:
             return True
-        return now_ms >= self._oldest_arrival_ms() + self.settings.max_wait_ms
+        return (
+            now_ms
+            >= self._oldest_arrival_ms()
+            + self.settings.max_wait_ms * self.deadline_scale
+        )
 
     # ------------------------------------------------------------------
     # Mutation

@@ -1,0 +1,142 @@
+"""The bounded respawn budget and the pool's health counters.
+
+A dead worker is replaced on the next call — but only while the
+``respawn_budget`` lasts, and consecutive crash rounds back off
+exponentially.  Past the budget (or inside a backoff window) the pool
+serves *degraded* on its survivors, and with none left it raises so
+callers fall back in-process.  ``stats()`` and ``available_capacity``
+must tell the serving layer the truth at every stage."""
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceWorkerPool, WorkerPoolError
+
+
+def _batch(classifier, count=4, seed=0):
+    rng = np.random.default_rng(seed)
+    size = classifier.config.input_size
+    return rng.standard_normal((count, 4, size, size)).astype(np.float32)
+
+
+def _kill(pool, index=0):
+    victim = pool._workers[index].process
+    victim.terminate()
+    victim.join()
+
+
+class TestRespawnBudget:
+    def test_budget_caps_replacements_then_degrades(
+        self, untrained_classifier
+    ):
+        """One budgeted respawn heals the first death; the second death
+        finds the budget spent and the pool scatters over the lone
+        survivor — same probabilities, fewer processes."""
+        batch = _batch(untrained_classifier)
+        reference = untrained_classifier.predict_proba_tensor(batch)
+        with InferenceWorkerPool(
+            num_workers=2, timeout_s=10.0,
+            respawn_budget=1, respawn_backoff_s=0.0,
+        ) as pool:
+            pool.publish(untrained_classifier)
+
+            _kill(pool)
+            np.testing.assert_array_equal(
+                pool.predict_proba(batch), reference
+            )
+            assert pool.alive_workers == 2  # healed, budget now spent
+            assert pool.respawns == 1
+            assert pool.budget_exhausted
+
+            _kill(pool)
+            np.testing.assert_array_equal(
+                pool.predict_proba(batch), reference
+            )
+            assert pool.alive_workers == 1  # degraded, not healed
+            assert pool.respawns == 1
+            # capacity honestly reports the survivors, not num_workers
+            assert pool.available_capacity == 1
+
+    def test_zero_budget_and_zero_survivors_raises(
+        self, untrained_classifier
+    ):
+        """With no budget at all, losing every worker leaves nothing to
+        scatter over: the pool raises and the caller falls back."""
+        with InferenceWorkerPool(
+            num_workers=2, timeout_s=10.0,
+            respawn_budget=0, respawn_backoff_s=0.0,
+        ) as pool:
+            pool.publish(untrained_classifier)
+            assert pool.budget_exhausted  # 0 respawns allowed from birth
+            _kill(pool, 0)
+            _kill(pool, 1)
+            with pytest.raises(WorkerPoolError, match="no live workers"):
+                pool.predict_proba(_batch(untrained_classifier))
+
+    def test_backoff_defers_the_second_replacement(
+        self, untrained_classifier
+    ):
+        """The first respawn of a streak is immediate; the next death
+        inside the backoff window is NOT replaced yet — the pool serves
+        on the survivor and the respawn counter holds still."""
+        batch = _batch(untrained_classifier, seed=1)
+        reference = untrained_classifier.predict_proba_tensor(batch)
+        with InferenceWorkerPool(
+            num_workers=2, timeout_s=10.0,
+            respawn_budget=4, respawn_backoff_s=60.0,
+        ) as pool:
+            pool.publish(untrained_classifier)
+
+            _kill(pool)
+            np.testing.assert_array_equal(
+                pool.predict_proba(batch), reference
+            )
+            assert pool.respawns == 1
+            assert pool.alive_workers == 2
+
+            _kill(pool)
+            np.testing.assert_array_equal(
+                pool.predict_proba(batch), reference
+            )
+            assert pool.respawns == 1  # deferred, not spent
+            assert pool.alive_workers == 1
+            assert not pool.budget_exhausted
+
+    def test_stats_snapshot(self, untrained_classifier):
+        with InferenceWorkerPool(
+            num_workers=2, timeout_s=10.0,
+            respawn_budget=3, respawn_backoff_s=0.0,
+        ) as pool:
+            pool.publish(untrained_classifier)
+            _kill(pool)
+            pool.predict_proba(_batch(untrained_classifier))
+            assert pool.stats() == {
+                "num_workers": 2,
+                "alive_workers": 2,
+                "respawns": 1,
+                "respawn_budget": 3,
+                "budget_exhausted": False,
+                "chaos_publish_failures": 0,
+            }
+
+
+class TestChaosPublishFailure:
+    def test_armed_publish_fails_exactly_once(self, untrained_classifier):
+        """Arming the fault makes the fingerprint read unpublished (so
+        staleness checks route through publish), the next publish
+        raises once, and the one after ships normally."""
+        with InferenceWorkerPool(num_workers=2, timeout_s=10.0) as pool:
+            fingerprint = pool.publish(untrained_classifier)
+            assert pool.chaos_fail_next_publish()
+            assert pool.published_fingerprint is None
+            with pytest.raises(WorkerPoolError, match="injected publish"):
+                pool.publish(untrained_classifier)
+            assert pool.stats()["chaos_publish_failures"] == 1
+            # the fault is one-shot: publication works again
+            assert pool.publish(untrained_classifier) == fingerprint
+            assert pool.published_fingerprint == fingerprint
+
+    def test_arming_a_closed_pool_is_inert(self, untrained_classifier):
+        pool = InferenceWorkerPool(num_workers=1, timeout_s=10.0)
+        pool.close()
+        assert not pool.chaos_fail_next_publish()

@@ -1,0 +1,187 @@
+"""The per-tier circuit breaker state machine, driven over explicit
+virtual time: trip on windowed failures, reject while open, admit one
+half-open probe after the cooldown, and reopen on a deterministic
+exponential schedule when the probe fails."""
+
+import pytest
+
+from repro.resilience import BreakerSettings, TierBreaker
+
+FAST = BreakerSettings(
+    window=4,
+    trip_failures=2,
+    cooldown_ms=10.0,
+    cooldown_backoff=2.0,
+    max_cooldown_ms=40.0,
+)
+
+
+def _trip(breaker, now_ms=0.0):
+    """Admit and fail enough calls to trip the breaker open."""
+    for _ in range(breaker.settings.trip_failures):
+        assert breaker.allow(now_ms)
+        breaker.record(now_ms, ok=False)
+    assert breaker.state == "open"
+
+
+class TestSettingsValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            BreakerSettings(window=0)
+        with pytest.raises(ValueError):
+            BreakerSettings(window=4, trip_failures=5)
+        with pytest.raises(ValueError):
+            BreakerSettings(cooldown_ms=0.0)
+        with pytest.raises(ValueError):
+            BreakerSettings(cooldown_backoff=0.5)
+        with pytest.raises(ValueError):
+            BreakerSettings(cooldown_ms=50.0, max_cooldown_ms=10.0)
+
+
+class TestTripAndReject:
+    def test_closed_admits_and_counts_outcomes(self):
+        breaker = TierBreaker("pool", FAST)
+        assert breaker.state == "closed"
+        for _ in range(8):
+            assert breaker.allow(0.0)
+            breaker.record(0.0, ok=True)
+        assert breaker.state == "closed"
+        assert breaker.successes == 8
+        assert breaker.trips == 0
+
+    def test_trips_after_windowed_failures(self):
+        breaker = TierBreaker("pool", FAST)
+        _trip(breaker)
+        assert breaker.trips == 1
+        assert breaker.failures == FAST.trip_failures
+
+    def test_old_failures_age_out_of_the_window(self):
+        """Failures separated by a full window of successes never trip:
+        the deque evicts them before the second failure lands."""
+        breaker = TierBreaker("pool", FAST)
+        for round_ in range(3):
+            assert breaker.allow(0.0)
+            breaker.record(0.0, ok=False)
+            for _ in range(FAST.window):
+                assert breaker.allow(0.0)
+                breaker.record(0.0, ok=True)
+        assert breaker.state == "closed"
+        assert breaker.trips == 0
+
+    def test_open_rejects_until_cooldown(self):
+        breaker = TierBreaker("pool", FAST)
+        _trip(breaker, now_ms=100.0)
+        assert breaker.reopen_at_ms() == 100.0 + FAST.cooldown_ms
+        assert not breaker.allow(100.0)
+        assert not breaker.allow(100.0 + FAST.cooldown_ms - 0.01)
+        assert breaker.rejections == 2
+        assert breaker.state == "open"
+
+    def test_outcomes_admitted_before_the_trip_do_not_flap(self):
+        """A slow call admitted while closed may report after the trip;
+        its outcome must not reopen, re-close, or re-trip anything."""
+        breaker = TierBreaker("pool", FAST)
+        assert breaker.allow(0.0)  # in flight across the trip
+        _trip(breaker, now_ms=0.0)
+        breaker.record(0.0, ok=True)
+        assert breaker.state == "open"
+        breaker.record(0.0, ok=False)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+
+class TestHalfOpenProbe:
+    def test_cooldown_elapse_admits_exactly_one_probe(self):
+        breaker = TierBreaker("cascade", FAST)
+        _trip(breaker, now_ms=0.0)
+        probe_at = FAST.cooldown_ms
+        assert breaker.allow(probe_at)
+        assert breaker.state == "half-open"
+        assert breaker.probes == 1
+        # the probe's outcome is unrecorded: everything else rejects
+        assert not breaker.allow(probe_at)
+        assert not breaker.allow(probe_at + 5.0)
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = TierBreaker("cascade", FAST)
+        _trip(breaker, now_ms=0.0)
+        assert breaker.allow(FAST.cooldown_ms)
+        breaker.record(FAST.cooldown_ms, ok=True)
+        assert breaker.state == "closed"
+        assert breaker.cooldown_ms == FAST.cooldown_ms
+        # the window was cleared: one fresh failure is not a trip
+        assert breaker.allow(FAST.cooldown_ms)
+        breaker.record(FAST.cooldown_ms, ok=False)
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_with_doubled_cooldown(self):
+        breaker = TierBreaker("cascade", FAST)
+        _trip(breaker, now_ms=0.0)
+        now = FAST.cooldown_ms
+        assert breaker.allow(now)
+        breaker.record(now, ok=False)
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert breaker.cooldown_ms == FAST.cooldown_ms * 2.0
+        assert breaker.reopen_at_ms() == now + FAST.cooldown_ms * 2.0
+
+    def test_reopen_schedule_is_capped(self):
+        breaker = TierBreaker("diff", FAST)
+        _trip(breaker, now_ms=0.0)
+        now = 0.0
+        for _ in range(6):  # enough failed probes to hit the ceiling
+            now = breaker.reopen_at_ms()
+            assert breaker.allow(now)
+            breaker.record(now, ok=False)
+        assert breaker.cooldown_ms == FAST.max_cooldown_ms
+
+    def test_deterministic_replay(self):
+        """The same outcome sequence at the same times produces the
+        same states and counters — no wall clock anywhere."""
+        def drive(breaker):
+            trace = []
+            now = 0.0
+            for step in range(30):
+                now += 3.0
+                if breaker.allow(now):
+                    breaker.record(now, ok=step % 3 == 0)
+                trace.append((breaker.state, breaker.trips,
+                              breaker.rejections, breaker.cooldown_ms))
+            return trace
+
+        assert drive(TierBreaker("x", FAST)) == drive(TierBreaker("x", FAST))
+
+
+class TestPeekAndRebase:
+    def test_peek_is_non_mutating(self):
+        breaker = TierBreaker("diff", FAST)
+        _trip(breaker, now_ms=0.0)
+        rejections = breaker.rejections
+        assert not breaker.peek(0.0)
+        assert breaker.peek(FAST.cooldown_ms)
+        # still open, no probe claimed, no rejection counted
+        assert breaker.state == "open"
+        assert breaker.probes == 0
+        assert breaker.rejections == rejections
+        # the real probe is still available after any number of peeks
+        assert breaker.allow(FAST.cooldown_ms)
+        assert not breaker.peek(FAST.cooldown_ms)  # probe in flight
+
+    def test_rebase_restarts_an_open_cooldown(self):
+        """A plane shared across fleet epochs sees the next epoch's
+        clock restart at zero; an open breaker's anchor must clamp or
+        its cooldown would sit unreachable in the future."""
+        breaker = TierBreaker("pool", FAST)
+        _trip(breaker, now_ms=500.0)
+        breaker.rebase(0.0)
+        assert breaker.reopen_at_ms() == FAST.cooldown_ms
+        assert not breaker.allow(0.0)
+        assert breaker.allow(FAST.cooldown_ms)
+
+    def test_rebase_leaves_closed_state_alone(self):
+        breaker = TierBreaker("pool", FAST)
+        breaker.allow(5.0)
+        breaker.record(5.0, ok=True)
+        breaker.rebase(0.0)
+        assert breaker.state == "closed"
+        assert breaker.allow(0.0)
